@@ -1,0 +1,39 @@
+# EquiNox reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench eval heatmap design cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark harness: one benchmark per paper table/figure.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate the paper's evaluation (Figures 9/10/11, Table 1, §6.6).
+eval:
+	$(GO) run ./cmd/equinox-eval
+
+# Figure 4 heat maps and the placement scoring table.
+heatmap:
+	$(GO) run ./cmd/equinox-heatmap
+
+# The §4 design flow.
+design:
+	$(GO) run ./cmd/equinox-design
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out

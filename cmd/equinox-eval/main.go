@@ -1,0 +1,164 @@
+// Command equinox-eval runs the paper's §6 evaluation sweep — all seven
+// schemes over the benchmark suite — and regenerates its tables and
+// figures: Table 1, Figure 9(a/b/c), Figure 10, Figure 11, and the §6.6
+// µbump comparison. Each output can also be selected individually.
+//
+// Usage:
+//
+//	equinox-eval                      # everything, full suite
+//	equinox-eval -benchmarks kmeans,bfs -instr 300
+//	equinox-eval -fig9a               # a single figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"equinox"
+	"equinox/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("equinox-eval: ")
+	var (
+		width    = flag.Int("width", 8, "mesh width")
+		height   = flag.Int("height", 8, "mesh height")
+		cbs      = flag.Int("cbs", 8, "number of cache banks")
+		instr    = flag.Int("instr", 0, "instructions per PE (0 = default scale)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		benchCSV = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 29)")
+		par      = flag.Int("parallel", 0, "parallel simulations (0 = GOMAXPROCS)")
+
+		table1 = flag.Bool("table1", false, "print only Table 1")
+		fig9a  = flag.Bool("fig9a", false, "print only Figure 9(a)")
+		fig9b  = flag.Bool("fig9b", false, "print only Figure 9(b)")
+		fig9c  = flag.Bool("fig9c", false, "print only Figure 9(c)")
+		fig10  = flag.Bool("fig10", false, "print only Figure 10")
+		fig11  = flag.Bool("fig11", false, "print only Figure 11")
+		ubumps = flag.Bool("ubumps", false, "print only the §6.6 µbump comparison")
+		fig12  = flag.Bool("fig12", false, "also run the Figure 12 scalability study (slow)")
+		asJSON = flag.String("json", "", "also write the raw results as JSON to this file")
+		asMD   = flag.String("report", "", "also write a markdown report to this file")
+		cfgIn  = flag.String("config", "", "load the evaluation configuration from this JSON file")
+	)
+	flag.Parse()
+
+	cfg := equinox.DefaultEvalConfig()
+	if *cfgIn != "" {
+		f, err := os.Open(*cfgIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err = equinox.LoadEvalConfig(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg.Width, cfg.Height, cfg.NumCBs = *width, *height, *cbs
+		cfg.InstructionsPerPE = *instr
+		cfg.Seed = *seed
+		cfg.Parallelism = *par
+		if *benchCSV != "" {
+			cfg.Benchmarks = strings.Split(*benchCSV, ",")
+		}
+	}
+
+	only := *table1 || *fig9a || *fig9b || *fig9c || *fig10 || *fig11 || *ubumps
+	if *table1 && !(*fig9a || *fig9b || *fig9c || *fig10 || *fig11 || *ubumps) {
+		// Table 1 needs no simulation.
+		fmt.Println(equinox.Table1(cfg))
+		return
+	}
+
+	log.Printf("running %d schemes × %d benchmarks …", len(sim.AllSchemes()), lenOr(cfg.Benchmarks, 29))
+	ev, err := equinox.RunEvaluation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range ev.Errors {
+		log.Printf("warning: %v", e)
+	}
+
+	show := func(b bool) bool { return !only || b }
+	if show(*table1) {
+		fmt.Println(equinox.Table1(cfg))
+	}
+	if show(*fig9a) {
+		fmt.Println(ev.Figure9a())
+	}
+	if show(*fig9b) {
+		fmt.Println(ev.Figure9b())
+	}
+	if show(*fig9c) {
+		fmt.Println(ev.Figure9c())
+	}
+	if show(*fig10) {
+		fmt.Println(ev.Figure10())
+	}
+	if show(*fig11) {
+		fmt.Println(ev.Figure11())
+	}
+	if show(*ubumps) {
+		fmt.Println(equinox.UbumpComparison(ev))
+	}
+	if !only {
+		fmt.Println(ev.EnergyBreakdownTable())
+	}
+	if *fig12 {
+		log.Printf("running the scalability study …")
+		pts, err := equinox.ScalabilityStudy([]int{8, 12, 16}, benchSubset(cfg.Benchmarks), 300, cfg.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(equinox.Figure12(pts))
+	}
+	if !only {
+		fmt.Printf("reply share of NoC bits (SeparateBase): %.1f%% (paper: 72.7%%)\n",
+			ev.ReplyBitShare(sim.SeparateBase)*100)
+	}
+	if *asJSON != "" {
+		f, err := os.Create(*asJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := ev.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *asJSON)
+	}
+	if *asMD != "" {
+		f, err := os.Create(*asMD)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := ev.WriteReport(f); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *asMD)
+	}
+}
+
+// benchSubset trims the benchmark list for the slow scalability study.
+func benchSubset(benches []string) []string {
+	if len(benches) == 0 {
+		return []string{"kmeans", "bfs", "hotspot"}
+	}
+	if len(benches) > 4 {
+		return benches[:4]
+	}
+	return benches
+}
+
+func lenOr(s []string, def int) int {
+	if len(s) == 0 {
+		return def
+	}
+	return len(s)
+}

@@ -1,0 +1,42 @@
+// Command equinox-heatmap regenerates the paper's Figure 4: per-router heat
+// maps of average flit traversal cycles under few-to-many reply traffic for
+// the Top, Side, Diagonal, Diamond, and N-Queen cache-bank placements, with
+// the per-placement variance, plus the hot-zone penalty scores (§4.2).
+//
+// Usage:
+//
+//	equinox-heatmap [-width 8] [-height 8] [-cbs 8] [-cycles 4000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"equinox"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("equinox-heatmap: ")
+	var (
+		width  = flag.Int("width", 8, "mesh width")
+		height = flag.Int("height", 8, "mesh height")
+		cbs    = flag.Int("cbs", 8, "number of cache banks")
+		cycles = flag.Int("cycles", 4000, "traffic cycles per placement")
+		seed   = flag.Int64("seed", 1, "traffic seed")
+	)
+	flag.Parse()
+
+	out, err := equinox.Figure4(*width, *height, *cbs, *cycles, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+
+	scores, err := equinox.NQueenScores(*width, *height, *cbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(scores)
+}

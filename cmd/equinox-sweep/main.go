@@ -1,0 +1,90 @@
+// Command equinox-sweep measures open-loop load–latency curves for the
+// mesh NoC under classic synthetic patterns (uniform, transpose, hotspot)
+// and the paper's many-to-few / few-to-many patterns — the standard
+// network-level characterization that complements the full-system
+// evaluation. The few-to-many saturation point is exactly the injection
+// bottleneck the paper attacks.
+//
+// Usage:
+//
+//	equinox-sweep [-width 8] [-height 8] [-pattern uniform|transpose|hotspot|f2m|m2f]
+//	              [-loads 0.02,0.05,0.1,0.2,0.4] [-cycles 3000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"equinox/internal/noc"
+	"equinox/internal/placement"
+	"equinox/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("equinox-sweep: ")
+	var (
+		width   = flag.Int("width", 8, "mesh width")
+		height  = flag.Int("height", 8, "mesh height")
+		pattern = flag.String("pattern", "uniform", "uniform, transpose, hotspot, f2m, m2f")
+		loads   = flag.String("loads", "0.02,0.05,0.1,0.2,0.3,0.5", "offered loads (flits/node/cycle)")
+		cycles  = flag.Int("cycles", 3000, "measured cycles per load point")
+		seed    = flag.Int64("seed", 1, "traffic seed")
+	)
+	flag.Parse()
+
+	var ls []float64
+	for _, s := range strings.Split(*loads, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			log.Fatalf("bad load %q: %v", s, err)
+		}
+		ls = append(ls, v)
+	}
+
+	var pat traffic.Pattern
+	switch *pattern {
+	case "uniform":
+		pat = traffic.Uniform{W: *width, H: *height, Typ: noc.ReadReply}
+	case "transpose":
+		pat = traffic.Transpose{W: *width, H: *height, Typ: noc.ReadReply}
+	case "hotspot":
+		pat = traffic.Hotspot{W: *width, H: *height, Hot: (*width**height - 1) / 2, HotFrac: 0.3, Typ: noc.ReadReply}
+	case "f2m", "m2f":
+		pl, err := placement.New(placement.NQueen, *width, *height, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *pattern == "f2m" {
+			pat = traffic.FewToMany{W: *width, H: *height, CBs: pl.CBs, Typ: noc.ReadReply}
+		} else {
+			pat = traffic.ManyToFew{W: *width, H: *height, CBs: pl.CBs, Typ: noc.ReadRequest}
+		}
+	default:
+		log.Fatalf("unknown pattern %q", *pattern)
+	}
+
+	pts, err := traffic.Sweep(traffic.SweepConfig{
+		Net: func() (*noc.Network, error) {
+			return noc.New(noc.DefaultConfig("sweep", *width, *height))
+		},
+		Pattern:    pat,
+		Loads:      ls,
+		WarmCycles: *cycles / 3,
+		RunCycles:  *cycles,
+		Seed:       *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pattern %s on %dx%d (flits per source node per cycle)\n\n", pat.Name(), *width, *height)
+	fmt.Println("offered  accepted  avgLatency  saturated")
+	for _, p := range pts {
+		fmt.Printf("%7.3f  %8.3f  %10.1f  %v\n", p.OfferedLoad, p.AcceptedLoad, p.AvgLatencyCycles, p.Saturated)
+	}
+	fmt.Printf("\nsaturation load: %.3f flits/source/cycle\n", traffic.SaturationLoad(pts))
+}

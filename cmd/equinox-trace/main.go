@@ -1,0 +1,114 @@
+// Command equinox-trace runs one full-system simulation with per-packet
+// tracing on the reply network(s) and reports tail latencies (p50/p95/p99)
+// that the averaged Figure 10 metrics cannot show, optionally dumping the
+// raw trace as CSV or JSON.
+//
+// Usage:
+//
+//	equinox-trace [-scheme EquiNox] [-bench kmeans] [-instr 600]
+//	              [-csv trace.csv] [-jsonout trace.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"equinox/internal/core"
+	"equinox/internal/sim"
+	"equinox/internal/trace"
+	"equinox/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("equinox-trace: ")
+	var (
+		scheme  = flag.String("scheme", "EquiNox", "scheme to simulate")
+		bench   = flag.String("bench", "kmeans", "benchmark name")
+		instr   = flag.Int("instr", 600, "instructions per PE")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		csvOut  = flag.String("csv", "", "write the reply trace as CSV to this file")
+		jsonOut = flag.String("jsonout", "", "write the reply trace as JSON to this file")
+	)
+	flag.Parse()
+
+	var kind sim.SchemeKind = -1
+	for _, s := range sim.AllSchemes() {
+		if strings.EqualFold(s.String(), *scheme) {
+			kind = s
+		}
+	}
+	if kind < 0 {
+		log.Fatalf("unknown scheme %q", *scheme)
+	}
+	cfg := sim.DefaultConfig(kind)
+	cfg.InstructionsPerPE = *instr
+	cfg.Seed = *seed
+	if kind == sim.EquiNox {
+		dc := core.DefaultDesignConfig()
+		dc.Search = core.SearchGreedyTwoHop
+		d, err := core.BuildDesign(dc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.CBOverride = d.CBs
+		cfg.EIRGroups = d.Groups
+	}
+	prof, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := sim.NewSystem(cfg, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	for _, n := range sys.ReplyNetworks() {
+		rec.Attach(n)
+	}
+	res, err := sys.RunToCompletion()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%v / %s: %d cycles, %d packets traced on reply networks\n",
+		res.Scheme, res.Benchmark, res.ExecCycles, len(rec.Records))
+	for _, p := range []float64{50, 90, 95, 99} {
+		v, err := rec.Percentile(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  p%-4.0f latency: %5d cycles\n", p, v)
+	}
+	h, err := rec.NewHistogram(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  max latency:  %5d cycles over %d bins\n", h.Max, len(h.Counts))
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *csvOut)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+}

@@ -1,0 +1,67 @@
+// Command equinox-viz renders SVG artifacts: the EquiNox design floor plan
+// (the repository's Figure 7) and the Figure 4 placement heat maps.
+//
+// Usage:
+//
+//	equinox-viz [-out .] [-width 8] [-height 8] [-cbs 8]
+//	            [-search mcts|greedy] [-cycles 3000]
+//
+// Writes design.svg and heatmaps.svg into -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"equinox/internal/core"
+	"equinox/internal/stats"
+	"equinox/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("equinox-viz: ")
+	var (
+		out    = flag.String("out", ".", "output directory")
+		width  = flag.Int("width", 8, "mesh width")
+		height = flag.Int("height", 8, "mesh height")
+		cbs    = flag.Int("cbs", 8, "number of cache banks")
+		search = flag.String("search", "greedy", "design search: mcts or greedy")
+		cycles = flag.Int("cycles", 3000, "heat map traffic cycles")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultDesignConfig()
+	cfg.Width, cfg.Height, cfg.NumCBs = *width, *height, *cbs
+	if *search == "mcts" {
+		cfg.Search = core.SearchMCTS
+	} else {
+		cfg.Search = core.SearchGreedyTwoHop
+	}
+	design, err := core.BuildDesign(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	designPath := filepath.Join(*out, "design.svg")
+	if err := os.WriteFile(designPath, []byte(viz.DesignSVG(design)), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", designPath)
+
+	rs, err := stats.PlacementHeatmaps(*width, *height, *cbs, *cycles, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heatPath := filepath.Join(*out, "heatmaps.svg")
+	if err := os.WriteFile(heatPath, []byte(viz.HeatmapsSVG(rs)), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", heatPath)
+}

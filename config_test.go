@@ -1,0 +1,59 @@
+package equinox
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"equinox/internal/sim"
+)
+
+func TestEvalConfigRoundTrip(t *testing.T) {
+	cfg := DefaultEvalConfig()
+	cfg.Schemes = []sim.SchemeKind{sim.SingleBase, sim.EquiNox}
+	cfg.Benchmarks = []string{"bfs", "kmeans"}
+	cfg.InstructionsPerPE = 321
+	cfg.Seed = 9
+	var buf bytes.Buffer
+	if err := SaveEvalConfig(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEvalConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 8 || got.InstructionsPerPE != 321 || got.Seed != 9 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if len(got.Schemes) != 2 || got.Schemes[1] != sim.EquiNox {
+		t.Errorf("schemes: %v", got.Schemes)
+	}
+	if len(got.Benchmarks) != 2 {
+		t.Errorf("benchmarks: %v", got.Benchmarks)
+	}
+}
+
+func TestLoadEvalConfigRejectsUnknowns(t *testing.T) {
+	if _, err := LoadEvalConfig(strings.NewReader(`{"schemes":["NopeScheme"]}`)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := LoadEvalConfig(strings.NewReader(`{"benchmarks":["nope"]}`)); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := LoadEvalConfig(strings.NewReader(`{"bogusField":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := LoadEvalConfig(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadEvalConfigDefaults(t *testing.T) {
+	cfg, err := LoadEvalConfig(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Width != 8 || cfg.Height != 8 || cfg.NumCBs != 8 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}

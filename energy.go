@@ -1,0 +1,58 @@
+package equinox
+
+import (
+	"fmt"
+
+	"equinox/internal/sim"
+)
+
+// EnergyBreakdownTable decomposes each scheme's NoC energy into its
+// components (buffers, crossbars, arbiters, on-chip links, interposer
+// links, leakage), summed over the benchmark suite — an extension figure
+// that shows *where* EquiNox saves energy relative to the conventional
+// separate-network schemes: shorter runtimes cut leakage, and the
+// interposer links are cheaper per bit than extra mesh traversals.
+func (ev *Evaluation) EnergyBreakdownTable() Table {
+	t := Table{
+		Title:  "Energy breakdown by component (pJ, suite total)",
+		Header: []string{"scheme", "buffer", "xbar", "arb", "link", "interposer", "leakage", "total"},
+	}
+	for _, s := range ev.Schemes {
+		var sum [7]float64
+		for _, b := range ev.Benches {
+			e := ev.Results[s][b].Energy
+			sum[0] += e.BufferPJ
+			sum[1] += e.XbarPJ
+			sum[2] += e.ArbPJ
+			sum[3] += e.LinkPJ
+			sum[4] += e.IntpLinkPJ
+			sum[5] += e.LeakagePJ
+			sum[6] += e.TotalPJ()
+		}
+		row := []string{s.String()}
+		for _, v := range sum {
+			row = append(row, fmt.Sprintf("%.3e", v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// LeakageShare returns leakage's fraction of each scheme's total energy —
+// the quantity that makes execution-time reductions show up as energy
+// reductions (§6.2's causal chain).
+func (ev *Evaluation) LeakageShare() map[sim.SchemeKind]float64 {
+	out := map[sim.SchemeKind]float64{}
+	for _, s := range ev.Schemes {
+		var leak, total float64
+		for _, b := range ev.Benches {
+			e := ev.Results[s][b].Energy
+			leak += e.LeakagePJ
+			total += e.TotalPJ()
+		}
+		if total > 0 {
+			out[s] = leak / total
+		}
+	}
+	return out
+}

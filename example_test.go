@@ -1,0 +1,68 @@
+package equinox_test
+
+import (
+	"fmt"
+
+	"equinox"
+	"equinox/internal/core"
+	"equinox/internal/placement"
+)
+
+// The greedy design flow is fully deterministic, so its structural outputs
+// are stable: the paper's 24 unidirectional links and 6144 µbumps for the
+// 8×8 / 8-CB design point.
+func ExampleDesign() {
+	cfg := equinox.DefaultDesignConfig()
+	cfg.Search = core.SearchGreedyTwoHop
+	d, err := equinox.Design(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r := d.Summarize()
+	fmt.Printf("links=%d crossings=%d rdl=%d bumps=%d allTwoHop=%v\n",
+		r.Links, r.Crossings, r.RDLLayers, r.Bumps, r.AllTwoHop)
+	// Output:
+	// links=24 crossings=0 rdl=1 bumps=6144 allTwoHop=true
+}
+
+// The hot-zone scoring policy selects the best of the 92 8×8 N-Queen
+// solutions; its penalty is 23 (§4.2's "lowest score" placement).
+func ExampleDesign_placementScore() {
+	pl, err := placement.New(placement.NQueen, 8, 8, 8)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("solutions=%d bestScore=%d\n",
+		len(placement.NQueenSolutions(8)), placement.Score(pl))
+	// Output:
+	// solutions=92 bestScore=23
+}
+
+// DesignForMesh scales the same flow to larger meshes (Figure 12's sizes).
+func ExampleDesignForMesh() {
+	d, err := equinox.DesignForMesh(12, 12, 8)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r := d.Summarize()
+	fmt.Printf("crossings=%d allTwoHop=%v activeInterposer=%v\n",
+		r.Crossings, r.AllTwoHop, r.ActiveInterpose)
+	// Output:
+	// crossings=0 allTwoHop=true activeInterposer=false
+}
+
+// The µbump accounting of §6.6 reproduces exactly.
+func ExampleUbumpComparison() {
+	d, err := equinox.DesignForMesh(8, 8, 8)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	eir := d.Plan.Summarize()
+	fmt.Printf("equinox bumps=%d\n", eir.Bumps)
+	// Output:
+	// equinox bumps=6144
+}

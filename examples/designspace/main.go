@@ -1,0 +1,93 @@
+// Design-space exploration: the ablations behind EquiNox's design choices
+// (DESIGN.md experiment E14). Sweeps the EIR group size and hop limit,
+// compares MCTS against greedy and random search, and shows the hot-zone
+// scoring spread across the 92 8×8 N-Queen placements.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"equinox/internal/core"
+	"equinox/internal/mcts"
+	"equinox/internal/placement"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Placement scoring: the best and worst N-Queen solutions.
+	sols := placement.NQueenSolutions(8)
+	best, worst := 1<<30, -1
+	for _, sol := range sols {
+		s := placement.Score(placement.FromQueenSolution(sol))
+		if s < best {
+			best = s
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	fmt.Printf("N-Queen placements on 8x8: %d solutions, penalty score range [%d, %d]\n\n",
+		len(sols), best, worst)
+
+	// 2. EIR count ablation: how many EIRs per CB are worth it (§3.2.1:
+	// both extremes are bad)?
+	fmt.Println("EIRs/CB  links  maxLoad  avgHops  cost")
+	for maxEIR := 1; maxEIR <= 4; maxEIR++ {
+		cfg := core.DefaultDesignConfig()
+		cfg.MaxEIRsPerCB = maxEIR
+		cfg.Search = core.SearchGreedyTwoHop
+		d, err := core.BuildDesign(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d  %5d  %7.2f  %7.2f  %.3f\n",
+			maxEIR, d.Summarize().Links, d.Eval.MaxLoad, d.Eval.AvgHops, d.Eval.Cost)
+	}
+	fmt.Println()
+
+	// 3. Hop-limit ablation under MCTS.
+	fmt.Println("hopLimit  links  all2hop  crossings  cost")
+	for hop := 1; hop <= 3; hop++ {
+		cfg := core.DefaultDesignConfig()
+		cfg.HopLimit = hop
+		cfg.MCTS.IterationsPerLevel = 250
+		d, err := core.BuildDesign(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := d.Summarize()
+		fmt.Printf("%8d  %5d  %7v  %9d  %.3f\n", hop, r.Links, r.AllTwoHop, r.Crossings, r.EvalCost)
+	}
+	fmt.Println()
+
+	// 4. Search strategy comparison at a matched evaluation budget.
+	fmt.Println("search  cost  links  crossings  evaluations")
+	for _, s := range []core.SearchStrategy{core.SearchMCTS, core.SearchGreedyTwoHop, core.SearchRandom} {
+		cfg := core.DefaultDesignConfig()
+		cfg.Search = s
+		cfg.MCTS.IterationsPerLevel = 250
+		d, err := core.BuildDesign(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := d.Summarize()
+		fmt.Printf("%-12v  %.3f  %5d  %9d  %11d\n", s, r.EvalCost, r.Links, r.Crossings, d.SearchIters)
+	}
+	fmt.Println()
+
+	// 5. Evaluation-weight sensitivity: crossing weight 0 invites crossings.
+	for _, wCross := range []float64{0, 4} {
+		cfg := core.DefaultDesignConfig()
+		cfg.Weights = mcts.DefaultWeights()
+		cfg.Weights.Crossings = wCross
+		cfg.MCTS.IterationsPerLevel = 250
+		d, err := core.BuildDesign(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("crossing weight %.0f: %d crossings, %d RDL layers\n",
+			wCross, d.Summarize().Crossings, d.Summarize().RDLLayers)
+	}
+}

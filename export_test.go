@@ -1,0 +1,109 @@
+package equinox
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"equinox/internal/core"
+)
+
+func TestExportImportDesignRoundTrip(t *testing.T) {
+	d, err := DesignForMesh(8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ExportDesign(d)
+	if e.Links != d.Summarize().Links || !e.AllTwoHop {
+		t.Errorf("exported summary mismatch: %+v", e)
+	}
+	// Serialize and back.
+	blob, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e2 ExportedDesign
+	if err := json.Unmarshal(blob, &e2); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ImportDesign(&e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.CBs) != len(d.CBs) || d2.EIRCount() != d.EIRCount() {
+		t.Errorf("round trip lost structure: %d/%d CBs, %d/%d EIRs",
+			len(d2.CBs), len(d.CBs), d2.EIRCount(), d.EIRCount())
+	}
+	if d2.Plan.Crossings() != d.Plan.Crossings() {
+		t.Error("plan crossings changed")
+	}
+	// The imported design must be usable for simulation.
+	res, err := RunBenchmark(RunConfig{
+		Scheme: 6, Benchmark: "hotspot", Design: d2, InstructionsPerPE: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecCycles <= 0 {
+		t.Error("imported design produced empty run")
+	}
+}
+
+func TestImportDesignErrors(t *testing.T) {
+	if _, err := ImportDesign(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	bad := &ExportedDesign{Width: 8, Height: 8, CBs: [][2]int{{1, 1}}}
+	if _, err := ImportDesign(bad); err == nil {
+		t.Error("group/CB count mismatch accepted")
+	}
+	// Off-axis EIR must be rejected by design validation.
+	offAxis := &ExportedDesign{
+		Width: 8, Height: 8,
+		CBs:    [][2]int{{1, 1}},
+		Groups: [][][2]int{{{2, 2}}},
+	}
+	if _, err := ImportDesign(offAxis); err == nil {
+		t.Error("off-axis EIR accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	cfg := DefaultEvalConfig()
+	cfg.Benchmarks = []string{"hotspot"}
+	cfg.InstructionsPerPE = 120
+	ev, err := RunEvaluation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ev.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out ExportedEvaluation
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(out.Runs) != 7 {
+		t.Errorf("got %d runs, want 7", len(out.Runs))
+	}
+	if out.Design == nil || !out.Design.AllTwoHop {
+		t.Error("design missing from export")
+	}
+	if !strings.Contains(buf.String(), `"mesh": "8x8/8CB"`) {
+		t.Error("mesh descriptor missing")
+	}
+	for _, r := range out.Runs {
+		if r.ExecNS <= 0 || r.EnergyPJ <= 0 {
+			t.Errorf("empty run in export: %+v", r)
+		}
+	}
+}
+
+func TestExportDesignNil(t *testing.T) {
+	if ExportDesign(nil) != nil {
+		t.Error("nil design should export nil")
+	}
+	var _ = core.DefaultDesignConfig() // keep import meaningful
+}

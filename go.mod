@@ -1,0 +1,3 @@
+module equinox
+
+go 1.22

@@ -1,0 +1,248 @@
+package equinox
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"equinox/internal/core"
+	"equinox/internal/sim"
+	"equinox/internal/stats"
+)
+
+// EvalConfig configures a full §6 evaluation sweep.
+type EvalConfig struct {
+	Width, Height, NumCBs int
+
+	Schemes    []sim.SchemeKind // nil = all seven
+	Benchmarks []string         // nil = the full 29-benchmark suite
+
+	InstructionsPerPE int // zero = default scale
+	Seed              int64
+	Parallelism       int // zero = GOMAXPROCS
+
+	// Design is the EquiNox design to evaluate; nil builds one with the
+	// fast greedy search.
+	Design *core.Design
+}
+
+// DefaultEvalConfig returns the paper's main 8×8 sweep.
+func DefaultEvalConfig() EvalConfig {
+	return EvalConfig{Width: 8, Height: 8, NumCBs: 8, Seed: 1}
+}
+
+// Evaluation holds the sweep's per-(scheme, benchmark) results.
+type Evaluation struct {
+	Config  EvalConfig
+	Design  *core.Design
+	Schemes []sim.SchemeKind
+	Benches []string
+	// Results[scheme][benchmark].
+	Results map[sim.SchemeKind]map[string]sim.Result
+	// Errors collects failed runs (timeouts) without aborting the sweep.
+	Errors []error
+}
+
+// RunEvaluation executes the sweep, parallelizing independent simulations.
+func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
+	if cfg.Width == 0 {
+		cfg.Width, cfg.Height, cfg.NumCBs = 8, 8, 8
+	}
+	schemes := cfg.Schemes
+	if schemes == nil {
+		schemes = sim.AllSchemes()
+	}
+	benches := cfg.Benchmarks
+	if benches == nil {
+		benches = Benchmarks()
+	}
+	design := cfg.Design
+	needEquiNox := false
+	for _, s := range schemes {
+		if s == sim.EquiNox {
+			needEquiNox = true
+		}
+	}
+	if needEquiNox && design == nil {
+		var err error
+		design, err = DesignForMesh(cfg.Width, cfg.Height, cfg.NumCBs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ev := &Evaluation{
+		Config:  cfg,
+		Design:  design,
+		Schemes: schemes,
+		Benches: benches,
+		Results: map[sim.SchemeKind]map[string]sim.Result{},
+	}
+	for _, s := range schemes {
+		ev.Results[s] = map[string]sim.Result{}
+	}
+
+	type job struct {
+		scheme sim.SchemeKind
+		bench  string
+	}
+	var jobs []job
+	for _, s := range schemes {
+		for _, b := range benches {
+			jobs = append(jobs, job{s, b})
+		}
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	sem := make(chan struct{}, par)
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := RunBenchmark(RunConfig{
+				Scheme:            j.scheme,
+				Benchmark:         j.bench,
+				Width:             cfg.Width,
+				Height:            cfg.Height,
+				NumCBs:            cfg.NumCBs,
+				Design:            design,
+				InstructionsPerPE: cfg.InstructionsPerPE,
+				Seed:              cfg.Seed,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				ev.Errors = append(ev.Errors, fmt.Errorf("%v/%s: %w", j.scheme, j.bench, err))
+			}
+			ev.Results[j.scheme][j.bench] = res
+		}()
+	}
+	wg.Wait()
+	sort.Slice(ev.Errors, func(i, k int) bool { return ev.Errors[i].Error() < ev.Errors[k].Error() })
+	return ev, nil
+}
+
+// metric extracts one scalar per run.
+type metric func(sim.Result) float64
+
+// normalizedPerBenchmark returns values[scheme][benchIdx] = m(scheme,bench)
+// normalized to the base scheme on the same benchmark.
+func (ev *Evaluation) normalizedPerBenchmark(m metric, base sim.SchemeKind) map[sim.SchemeKind][]float64 {
+	out := map[sim.SchemeKind][]float64{}
+	for _, s := range ev.Schemes {
+		vals := make([]float64, len(ev.Benches))
+		for i, b := range ev.Benches {
+			bv := m(ev.Results[base][b])
+			if bv != 0 {
+				vals[i] = m(ev.Results[s][b]) / bv
+			}
+		}
+		out[s] = vals
+	}
+	return out
+}
+
+// GeoMeanNormalized returns the geometric-mean of a metric across the suite,
+// normalized to the base scheme (the "AVG" bar of Figure 9).
+func (ev *Evaluation) GeoMeanNormalized(m metric, base sim.SchemeKind) map[sim.SchemeKind]float64 {
+	per := ev.normalizedPerBenchmark(m, base)
+	out := map[sim.SchemeKind]float64{}
+	for s, vals := range per {
+		out[s] = stats.GeoMean(vals)
+	}
+	return out
+}
+
+// Standard metrics for the figures.
+func execTime(r sim.Result) float64 { return r.ExecNS }
+func energy(r sim.Result) float64   { return r.Energy.TotalPJ() }
+func edp(r sim.Result) float64      { return r.EDP() }
+func latency(r sim.Result) float64  { return r.TotalLatencyNS() }
+func area(r sim.Result) float64     { return r.AreaMM2 }
+func ipc(r sim.Result) float64      { return r.IPC }
+
+// ExecTimeSummary returns the Figure 9(a) averages normalized to base.
+func (ev *Evaluation) ExecTimeSummary(base sim.SchemeKind) map[sim.SchemeKind]float64 {
+	return ev.GeoMeanNormalized(execTime, base)
+}
+
+// EnergySummary returns the Figure 9(b) averages normalized to base.
+func (ev *Evaluation) EnergySummary(base sim.SchemeKind) map[sim.SchemeKind]float64 {
+	return ev.GeoMeanNormalized(energy, base)
+}
+
+// EDPSummary returns the Figure 9(c) averages normalized to base.
+func (ev *Evaluation) EDPSummary(base sim.SchemeKind) map[sim.SchemeKind]float64 {
+	return ev.GeoMeanNormalized(edp, base)
+}
+
+// LatencySummary returns the Figure 10 total-latency averages normalized to
+// base.
+func (ev *Evaluation) LatencySummary(base sim.SchemeKind) map[sim.SchemeKind]float64 {
+	return ev.GeoMeanNormalized(latency, base)
+}
+
+// AreaSummary returns the Figure 11 mean NoC area per scheme in mm².
+func (ev *Evaluation) AreaSummary() map[sim.SchemeKind]float64 {
+	out := map[sim.SchemeKind]float64{}
+	for _, s := range ev.Schemes {
+		var vals []float64
+		for _, b := range ev.Benches {
+			vals = append(vals, area(ev.Results[s][b]))
+		}
+		out[s] = stats.Mean(vals)
+	}
+	return out
+}
+
+// IPCSummary returns mean IPC per scheme (Figure 12's quantity).
+func (ev *Evaluation) IPCSummary() map[sim.SchemeKind]float64 {
+	out := map[sim.SchemeKind]float64{}
+	for _, s := range ev.Schemes {
+		var vals []float64
+		for _, b := range ev.Benches {
+			vals = append(vals, ipc(ev.Results[s][b]))
+		}
+		out[s] = stats.Mean(vals)
+	}
+	return out
+}
+
+// ReplyBitShare returns the suite-mean reply share of NoC bits (§2.2).
+func (ev *Evaluation) ReplyBitShare(s sim.SchemeKind) float64 {
+	var vals []float64
+	for _, b := range ev.Benches {
+		vals = append(vals, ev.Results[s][b].ReplyBitShare)
+	}
+	return stats.Mean(vals)
+}
+
+// latencyParts returns the Figure 10 four-part breakdown for a scheme,
+// averaged over the suite, normalized by the base scheme's mean total.
+func (ev *Evaluation) latencyParts(s, base sim.SchemeKind) (reqQ, reqN, repQ, repN float64) {
+	var t float64
+	for _, b := range ev.Benches {
+		r := ev.Results[s][b]
+		reqQ += r.ReqQueueNS
+		reqN += r.ReqNetNS
+		repQ += r.RepQueueNS
+		repN += r.RepNetNS
+		t += ev.Results[base][b].TotalLatencyNS()
+	}
+	n := float64(len(ev.Benches))
+	t /= n
+	if t == 0 {
+		return
+	}
+	return reqQ / n / t, reqN / n / t, repQ / n / t, repN / n / t
+}

@@ -1,0 +1,248 @@
+// Package interposer models the physical resources of a silicon interposer
+// used by EquiNox: redistribution-layer (RDL) wires between tile µbumps,
+// wire-crossing counting, the RDL layer requirement, and µbump area
+// accounting (paper §3.2.3 and §6.6).
+package interposer
+
+import (
+	"fmt"
+
+	"equinox/internal/geom"
+)
+
+// Link is one interposer wire run between two tiles of the processor die.
+// Links are logically bidirectional unless Unidirectional is set; a
+// bidirectional link is two unidirectional wires sharing a route.
+type Link struct {
+	From, To       geom.Point
+	Bits           int  // data width of one direction, e.g. 128
+	Unidirectional bool // true for one-way links (Interposer-CMesh style)
+
+	// BumpEndpoints is the number of die-boundary crossings per wire
+	// (µbumps per wire-bit). EquiNox EIR links run processor die →
+	// interposer → processor die, so each wire needs two µbumps (the
+	// default). Interposer-CMesh spokes descend once into the interposer,
+	// where the CMesh routers and mesh links live, so they need one.
+	// Zero means "use the default of 2".
+	BumpEndpoints int
+}
+
+func (l Link) bumpEndpoints() int {
+	if l.BumpEndpoints == 0 {
+		return 2
+	}
+	return l.BumpEndpoints
+}
+
+// Segment returns the straight-line RDL route of the link. EquiNox links are
+// short (≤3 tile pitches) so a single straight segment per link is the
+// natural route; the crossing analysis in the paper (Figure 3) treats links
+// the same way.
+func (l Link) Segment() geom.Segment { return geom.Seg(l.From, l.To) }
+
+// HopLength returns the link length in tile pitches (Manhattan), the unit
+// the paper uses when it says "2-hop links fit in one clock cycle".
+func (l Link) HopLength() int { return geom.Manhattan(l.From, l.To) }
+
+// Wires returns the number of unidirectional wires the link needs.
+func (l Link) Wires() int {
+	if l.Unidirectional {
+		return 1
+	}
+	return 2
+}
+
+// Params captures the physical technology constants used for accounting.
+// Defaults follow the paper: 40 µm pitch µbumps, so a 128-bit bidirectional
+// link consumes about 0.34 mm² of µbump area; links longer than
+// MaxRepeaterlessHops would need repeaters and hence an active interposer.
+type Params struct {
+	BumpPitchUM         float64 // µbump pitch in µm (40 in the paper)
+	TilePitchMM         float64 // distance between adjacent routers in mm
+	MaxRepeaterlessHops int     // longest link that fits one cycle passively
+}
+
+// DefaultParams returns the technology constants used throughout the paper.
+func DefaultParams() Params {
+	return Params{
+		BumpPitchUM:         40,
+		TilePitchMM:         1.5,
+		MaxRepeaterlessHops: 2,
+	}
+}
+
+// BumpAreaMM2PerBump returns the die area consumed by one µbump.
+func (p Params) BumpAreaMM2PerBump() float64 {
+	pitchMM := p.BumpPitchUM / 1000.0
+	return pitchMM * pitchMM
+}
+
+// Plan is a complete interposer wiring plan for a design.
+type Plan struct {
+	Links  []Link
+	Params Params
+}
+
+// NewPlan creates a Plan with default technology parameters.
+func NewPlan(links []Link) *Plan {
+	return &Plan{Links: links, Params: DefaultParams()}
+}
+
+// Segments returns the RDL route segments of every link.
+func (pl *Plan) Segments() []geom.Segment {
+	segs := make([]geom.Segment, len(pl.Links))
+	for i, l := range pl.Links {
+		segs[i] = l.Segment()
+	}
+	return segs
+}
+
+// Crossings returns the number of RDL wire-crossing points in the plan.
+func (pl *Plan) Crossings() int { return geom.CountCrossings(pl.Segments()) }
+
+// RDLLayers returns the number of RDL metal layers the plan needs (≥1 when
+// any link exists). Crossing-free plans need exactly one layer.
+func (pl *Plan) RDLLayers() int { return geom.MinRDLLayers(pl.Segments()) }
+
+// UnidirectionalLinkCount counts one-way wires: a bidirectional link is two.
+func (pl *Plan) UnidirectionalLinkCount() int {
+	n := 0
+	for _, l := range pl.Links {
+		n += l.Wires()
+	}
+	return n
+}
+
+// BumpCount returns the total number of µbumps the plan consumes. Every wire
+// needs one µbump at each die attachment: two per wire-bit for EIR links
+// (processor die → interposer → processor die), one for CMesh spokes whose
+// far end terminates inside the interposer (see Link.BumpEndpoints).
+func (pl *Plan) BumpCount() int {
+	n := 0
+	for _, l := range pl.Links {
+		n += l.Wires() * l.Bits * l.bumpEndpoints()
+	}
+	return n
+}
+
+// BumpAreaMM2 returns the processor-die area consumed by the plan's µbumps.
+func (pl *Plan) BumpAreaMM2() float64 {
+	return float64(pl.BumpCount()) * pl.Params.BumpAreaMM2PerBump()
+}
+
+// TotalWireLengthMM returns the summed RDL wire length (per-bit wires not
+// expanded; this is routed-channel length, the quantity MCTS minimizes).
+func (pl *Plan) TotalWireLengthMM() float64 {
+	total := 0.0
+	for _, l := range pl.Links {
+		total += float64(l.HopLength()) * pl.Params.TilePitchMM
+	}
+	return total
+}
+
+// MaxHopLength returns the longest link in tile pitches.
+func (pl *Plan) MaxHopLength() int {
+	m := 0
+	for _, l := range pl.Links {
+		if hl := l.HopLength(); hl > m {
+			m = hl
+		}
+	}
+	return m
+}
+
+// NeedsActiveInterposer reports whether any link exceeds the repeaterless
+// length budget and would force an active interposer (§3.2.3).
+func (pl *Plan) NeedsActiveInterposer() bool {
+	return pl.MaxHopLength() > pl.Params.MaxRepeaterlessHops
+}
+
+// Validate checks the plan against the mesh bounds.
+func (pl *Plan) Validate(w, h int) error {
+	for _, l := range pl.Links {
+		if !l.From.In(w, h) || !l.To.In(w, h) {
+			return fmt.Errorf("interposer: link %v-%v outside %dx%d mesh", l.From, l.To, w, h)
+		}
+		if l.From == l.To && l.bumpEndpoints() != 1 {
+			// A zero-length link is only meaningful as a vertical via into
+			// the interposer (single bump endpoint, e.g. a CMesh spoke).
+			return fmt.Errorf("interposer: degenerate link at %v", l.From)
+		}
+		if l.Bits <= 0 {
+			return fmt.Errorf("interposer: link %v-%v has non-positive width", l.From, l.To)
+		}
+	}
+	return nil
+}
+
+// Report is a summary of the plan's physical cost, the quantities compared
+// in §6.6 of the paper.
+type Report struct {
+	Links           int
+	Wires           int
+	Crossings       int
+	RDLLayers       int
+	Bumps           int
+	BumpAreaMM2     float64
+	WireLengthMM    float64
+	MaxHopLength    int
+	ActiveInterpose bool
+}
+
+// Summarize computes the physical cost report.
+func (pl *Plan) Summarize() Report {
+	return Report{
+		Links:           len(pl.Links),
+		Wires:           pl.UnidirectionalLinkCount(),
+		Crossings:       pl.Crossings(),
+		RDLLayers:       pl.RDLLayers(),
+		Bumps:           pl.BumpCount(),
+		BumpAreaMM2:     pl.BumpAreaMM2(),
+		WireLengthMM:    pl.TotalWireLengthMM(),
+		MaxHopLength:    pl.MaxHopLength(),
+		ActiveInterpose: pl.NeedsActiveInterposer(),
+	}
+}
+
+// CMeshPlan builds the interposer wiring of the Interposer-CMesh baseline
+// (Jerger et al. [14]) for a w×h mesh with 4:1 concentration: a
+// (w/2)×(h/2) concentrated mesh living in the interposer layer, reached by
+// four concentration spokes per CMesh router. Only the spokes cross the die
+// boundary (one µbump per wire-bit); the CMesh mesh links stay inside the
+// RDLs and consume no µbumps. For 8×8 this yields the paper's accounting:
+// 16 routers × 4 spokes × 2 directions = 128 unidirectional 256-bit links
+// between the processor die and the interposer = 32,768 µbumps (§6.6).
+func CMeshPlan(w, h, bits int) *Plan {
+	cw, ch := w/2, h/2
+	var links []Link
+	for cy := 0; cy < ch; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			// The CMesh router serves the 2×2 quadrant; anchor its footprint
+			// at the quadrant's north-west tile for geometry purposes.
+			c := geom.Pt(cx*2, cy*2)
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					tile := geom.Pt(cx*2+dx, cy*2+dy)
+					links = append(links,
+						Link{From: tile, To: c, Bits: bits, Unidirectional: true, BumpEndpoints: 1},
+						Link{From: c, To: tile, Bits: bits, Unidirectional: true, BumpEndpoints: 1})
+				}
+			}
+		}
+	}
+	return NewPlan(links)
+}
+
+// EIRPlan builds the interposer wiring for an EquiNox EIR assignment: one
+// bidirectional-capable (but used one-way, CB→EIR) link per EIR. The paper
+// counts them as 24 unidirectional 128-bit links for the 8×8 design (some
+// CBs have fewer than four EIRs due to boundary constraints).
+func EIRPlan(groups map[geom.Point][]geom.Point, bits int) *Plan {
+	var links []Link
+	for cb, eirs := range groups {
+		for _, e := range eirs {
+			links = append(links, Link{From: cb, To: e, Bits: bits, Unidirectional: true})
+		}
+	}
+	return NewPlan(links)
+}

@@ -1,0 +1,79 @@
+package mcts
+
+import (
+	"testing"
+
+	"equinox/internal/geom"
+	"equinox/internal/placement"
+)
+
+func TestSimulatedAnnealingProducesValidAssignment(t *testing.T) {
+	pl, err := placement.New(placement.NQueen, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(8, 8, pl.CBs)
+	res, err := SimulatedAnnealing(p, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[geom.Point]int{}
+	isCB := map[geom.Point]bool{}
+	for _, cb := range p.CBs {
+		isCB[cb] = true
+	}
+	total := 0
+	for i, cb := range p.CBs {
+		for _, e := range res.Assignment[i] {
+			total++
+			used[e]++
+			if isCB[e] {
+				t.Errorf("EIR %v is a CB", e)
+			}
+			if geom.Manhattan(cb, e) > p.HopLimit {
+				t.Errorf("EIR %v beyond hop limit", e)
+			}
+			if len(geom.DirTowards(cb, e)) != 1 {
+				t.Errorf("EIR %v off axis", e)
+			}
+		}
+	}
+	for e, n := range used {
+		if n > 1 {
+			t.Errorf("EIR %v shared", e)
+		}
+	}
+	if total == 0 {
+		t.Error("SA selected nothing")
+	}
+}
+
+func TestSimulatedAnnealingErrors(t *testing.T) {
+	if _, err := SimulatedAnnealing(Problem{}, 10, 1); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+// TestMCTSBeatsSimulatedAnnealing reproduces the paper's §4.3 argument:
+// with matched evaluation budgets, MCTS's group-structured search beats
+// the SA bit-vector formulation, whose perturbations frequently produce
+// invalid encodings that must be repaired away.
+func TestMCTSBeatsSimulatedAnnealing(t *testing.T) {
+	pl, err := placement.New(placement.NQueen, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(8, 8, pl.CBs)
+	m, err := Search(p, Options{IterationsPerLevel: 250, ExplorationC: 1.0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := SimulatedAnnealing(p, m.Evaluated, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Eval.Cost > sa.Eval.Cost {
+		t.Errorf("MCTS cost %.4f worse than SA %.4f at budget %d",
+			m.Eval.Cost, sa.Eval.Cost, m.Evaluated)
+	}
+}

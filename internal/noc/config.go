@@ -1,0 +1,182 @@
+package noc
+
+import (
+	"fmt"
+
+	"equinox/internal/geom"
+)
+
+// RoutingMode selects the routing algorithm.
+type RoutingMode int
+
+// Routing modes.
+const (
+	// RoutingXY is dimension-ordered (X then Y) deterministic routing.
+	RoutingXY RoutingMode = iota
+	// RoutingMinimalAdaptive is west-first minimal adaptive routing (the
+	// Glass & Ni turn model): westward hops are taken first, eastbound
+	// packets choose among productive directions by downstream credit. The
+	// restricted turn set keeps the channel dependence graph acyclic, so
+	// Table 1's "Minimum adaptive" is deadlock-free at full wormhole
+	// throughput on every VC.
+	RoutingMinimalAdaptive
+)
+
+// String implements fmt.Stringer.
+func (m RoutingMode) String() string {
+	if m == RoutingXY {
+		return "XY"
+	}
+	return "MinimalAdaptive"
+}
+
+// VCPolicy selects how traffic classes map to virtual channels on a shared
+// physical network.
+type VCPolicy int
+
+// VC policies.
+const (
+	// VCPrivate gives all VCs to the network's single traffic class
+	// (separate-network schemes).
+	VCPrivate VCPolicy = iota
+	// VCByClass statically splits VCs between request and reply traffic
+	// (SingleBase: VC0 request, VC1 reply).
+	VCByClass
+	// VCMonopolize is VCByClass plus the monopolization of Jang et al. [4]:
+	// reply packets may claim an idle request VC when their own VC is taken.
+	// Only the reply→request borrowing direction is allowed so that reply
+	// progress never depends on request progress (protocol deadlock safety).
+	VCMonopolize
+)
+
+// String implements fmt.Stringer.
+func (p VCPolicy) String() string {
+	switch p {
+	case VCPrivate:
+		return "Private"
+	case VCByClass:
+		return "ByClass"
+	default:
+		return "Monopolize"
+	}
+}
+
+// Config describes one physical network instance.
+type Config struct {
+	Name   string
+	Width  int
+	Height int
+
+	VCsPerPort   int // Table 1: 2 per port
+	VCDepthFlits int // Table 1: 1 packet per VC; depth = max packet flits
+
+	FlitBytes int // link/phit width in bytes (16 = 128-bit)
+	LineBytes int // cache line size carried by data packets
+
+	Routing  RoutingMode
+	VCPolicy VCPolicy
+
+	// InjQueuePackets is the per-NI injection queue capacity in packets
+	// (the NI core-side buffer feeding the per-router injection buffer).
+	InjQueuePackets int
+
+	// ClockGHz is the network clock; latency comparisons across clock
+	// domains (DA2Mesh) are done in nanoseconds.
+	ClockGHz float64
+
+	// EjectPortsPerCB widens ejection at CB-connected routers (MultiPort).
+	// Zero means 1.
+	EjectPortsPerCB int
+	// InjectPortsPerCB widens injection at CB-connected routers (MultiPort).
+	// Zero means 1.
+	InjectPortsPerCB int
+
+	// NIAssignsPerCycle is how many packets a multi-port NI may dispatch to
+	// free buffers per cycle. MultiPort CB NIs keep the single NI core of
+	// Figure 8 (one per cycle, the zero default).
+	NIAssignsPerCycle int
+
+	// SpokesPerNode attaches several fully independent NIs to every router
+	// (each with its own injection port), modelling concentration: each of
+	// the tiles sharing an Interposer-CMesh router keeps a dedicated spoke.
+	// Zero or one means a single NI per node. Packets select their spoke via
+	// Packet.Spoke.
+	SpokesPerNode int
+
+	// CBs marks the cache-bank tiles. Needed by MultiPort and by the stats
+	// layer; may be nil for PE-only overlay networks.
+	CBs []geom.Point
+
+	// EIRGroups enables the EquiNox NI and EIR input ports: for each CB
+	// tile, the set of equivalent injection routers reachable over the
+	// interposer. Nil for non-EquiNox networks.
+	EIRGroups map[geom.Point][]geom.Point
+}
+
+// DefaultConfig returns the paper's Table 1 configuration for one w×h mesh
+// network carrying a single class.
+func DefaultConfig(name string, w, h int) Config {
+	flitBytes := 16
+	lineBytes := 128
+	depth := SizeInFlits(ReadReply, flitBytes, lineBytes) // 1 packet per VC
+	return Config{
+		Name:            name,
+		Width:           w,
+		Height:          h,
+		VCsPerPort:      2,
+		VCDepthFlits:    depth,
+		FlitBytes:       flitBytes,
+		LineBytes:       lineBytes,
+		Routing:         RoutingMinimalAdaptive,
+		VCPolicy:        VCPrivate,
+		InjQueuePackets: 4,
+		ClockGHz:        1.126, // PE frequency from Table 1
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
+	}
+	if c.VCsPerPort < 1 {
+		return fmt.Errorf("noc: need at least one VC per port")
+	}
+	if c.VCPolicy != VCPrivate && c.VCsPerPort < int(NumClasses) {
+		return fmt.Errorf("noc: class-split VC policy needs ≥%d VCs", NumClasses)
+	}
+	if c.Routing == RoutingMinimalAdaptive && c.VCPolicy != VCPrivate {
+		return fmt.Errorf("noc: adaptive routing requires a single-class (VCPrivate) network")
+	}
+	if c.VCDepthFlits < 1 {
+		return fmt.Errorf("noc: VC depth must be ≥1 flit")
+	}
+	if c.FlitBytes < 1 || c.LineBytes < c.FlitBytes {
+		return fmt.Errorf("noc: bad flit/line bytes %d/%d", c.FlitBytes, c.LineBytes)
+	}
+	if c.InjQueuePackets < 1 {
+		return fmt.Errorf("noc: injection queue must hold ≥1 packet")
+	}
+	if c.ClockGHz <= 0 {
+		return fmt.Errorf("noc: clock must be positive")
+	}
+	for cb := range c.EIRGroups {
+		if !cb.In(c.Width, c.Height) {
+			return fmt.Errorf("noc: EIR group CB %v outside mesh", cb)
+		}
+		for _, e := range c.EIRGroups[cb] {
+			if !e.In(c.Width, c.Height) {
+				return fmt.Errorf("noc: EIR %v outside mesh", e)
+			}
+		}
+	}
+	return nil
+}
+
+// Nodes returns the number of tiles.
+func (c Config) Nodes() int { return c.Width * c.Height }
+
+// CycleNS converts cycles of this network's clock into nanoseconds.
+func (c Config) CycleNS(cycles int64) float64 {
+	return float64(cycles) / c.ClockGHz
+}

@@ -1,0 +1,109 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+
+	"equinox/internal/geom"
+)
+
+func TestStringers(t *testing.T) {
+	if ReadRequest.String() != "ReadRequest" || WriteReply.String() != "WriteReply" {
+		t.Error("packet type names")
+	}
+	if PacketType(99).String() != "PacketType(99)" {
+		t.Error("out-of-range packet type")
+	}
+	if Request.String() != "Request" || Reply.String() != "Reply" {
+		t.Error("class names")
+	}
+	if RoutingXY.String() != "XY" || RoutingMinimalAdaptive.String() != "MinimalAdaptive" {
+		t.Error("routing names")
+	}
+	if VCPrivate.String() != "Private" || VCByClass.String() != "ByClass" || VCMonopolize.String() != "Monopolize" {
+		t.Error("policy names")
+	}
+	n, _ := New(DefaultConfig("demo", 4, 4))
+	if !strings.Contains(n.String(), "demo(4x4") {
+		t.Errorf("network string: %s", n.String())
+	}
+}
+
+func TestCycleNS(t *testing.T) {
+	cfg := DefaultConfig("t", 4, 4)
+	cfg.ClockGHz = 2.0
+	if got := cfg.CycleNS(10); got != 5.0 {
+		t.Errorf("CycleNS = %f", got)
+	}
+}
+
+func TestRouterPosAndRouterAt(t *testing.T) {
+	n, _ := New(DefaultConfig("t", 4, 4))
+	r := n.RouterAt(geom.Pt(2, 3))
+	if r == nil || r.Pos() != geom.Pt(2, 3) {
+		t.Error("RouterAt/Pos wrong")
+	}
+	if n.RouterAt(geom.Pt(9, 9)) != nil {
+		t.Error("out-of-mesh router returned")
+	}
+}
+
+func TestStatsCycles(t *testing.T) {
+	n, _ := New(DefaultConfig("t", 4, 4))
+	for i := 0; i < 7; i++ {
+		n.Step()
+	}
+	if n.Stats.Cycles() != 7 {
+		t.Errorf("cycles = %d", n.Stats.Cycles())
+	}
+}
+
+func TestPeekDeliveredClass(t *testing.T) {
+	n, _ := New(DefaultConfig("t", 4, 4))
+	p := &Packet{ID: 3, Type: ReadReply, Src: 0, Dst: 5}
+	n.TryInject(p, n.Now())
+	for i := 0; i < 300 && n.PeekDeliveredClass(5, Reply) == nil; i++ {
+		n.Step()
+	}
+	q := n.PeekDeliveredClass(5, Reply)
+	if q == nil || q.ID != 3 {
+		t.Fatal("peek failed")
+	}
+	if n.PeekDeliveredClass(5, Request) != nil {
+		t.Error("request queue should be empty")
+	}
+	if got := n.PopDeliveredClass(5, Reply); got != q {
+		t.Error("pop returned a different packet")
+	}
+}
+
+func TestInjectorQueueSpace(t *testing.T) {
+	cfg := DefaultConfig("t", 4, 4)
+	cfg.CBs = []geom.Point{geom.Pt(1, 1)}
+	cfg.InjectPortsPerCB = 4
+	n, _ := New(cfg)
+	node := geom.Pt(1, 1).ID(4)
+	if n.InjectSpace(node) != cfg.InjQueuePackets {
+		t.Errorf("fresh multiport space = %d", n.InjectSpace(node))
+	}
+	cfg2 := DefaultConfig("t", 4, 4)
+	cb := geom.Pt(1, 1)
+	cfg2.CBs = []geom.Point{cb}
+	cfg2.EIRGroups = map[geom.Point][]geom.Point{cb: {geom.Pt(3, 1)}}
+	n2, _ := New(cfg2)
+	if n2.InjectSpace(node) != cfg2.InjQueuePackets {
+		t.Errorf("fresh equinox NI space = %d", n2.InjectSpace(node))
+	}
+}
+
+func TestDebugDumpShowsBufferedFlits(t *testing.T) {
+	n, _ := New(DefaultConfig("t", 4, 4))
+	p := &Packet{Type: ReadReply, Src: 0, Dst: 15}
+	n.TryInject(p, n.Now())
+	n.Step()
+	n.Step()
+	dump := n.DebugDump()
+	if !strings.Contains(dump, "ReadReply") {
+		t.Errorf("dump missing packet info:\n%s", dump)
+	}
+}

@@ -1,0 +1,457 @@
+package noc
+
+import (
+	"fmt"
+
+	"equinox/internal/geom"
+)
+
+// Network is one physical mesh network instance with its routers, links,
+// network interfaces, and ejection queues.
+type Network struct {
+	Cfg     Config
+	Routers []*Router // index = node ID (row-major)
+
+	nis    []injector // nis[node*spokes+spoke]
+	spokes int
+	// ejectQ is indexed [class][node]: requests and replies eject into
+	// separate NI buffers so a backpressured request can never trap replies
+	// behind it (protocol-deadlock safety at nodes receiving both classes).
+	ejectQ   [NumClasses][][]*Packet
+	ejectCap int
+
+	now          int64
+	lastProgress int64
+
+	Stats Stats
+
+	// OnDeliver, when non-nil, is invoked for every packet as its tail flit
+	// ejects (before the packet enters the delivery queue). Used by the
+	// trace package; must not retain the packet's payload beyond the call.
+	OnDeliver func(*Packet)
+}
+
+// injector is the per-node network interface seen by the simulator.
+type injector interface {
+	// tryEnqueue accepts a packet into the NI queue if space remains.
+	tryEnqueue(p *Packet, now int64) bool
+	// queueSpace returns the number of free packet slots.
+	queueSpace() int
+	// step streams flits into the attached router(s).
+	step(now int64)
+	// pending reports whether the NI still holds any packet or flits.
+	pending() bool
+}
+
+// New builds a network from a configuration.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{Cfg: cfg, ejectCap: 2}
+	n.Stats.init(cfg)
+
+	// Routers.
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			r := &Router{
+				id:   y*cfg.Width + x,
+				pos:  geom.Pt(x, y),
+				net:  n,
+				node: y*cfg.Width + x,
+			}
+			for d := range r.dirOut {
+				r.dirOut[d] = noAlloc
+			}
+			// Base ports: local + four directions (ports exist even on the
+			// boundary — the paper notes boundary routers reuse the same
+			// template — but boundary direction ports are never routed to).
+			for p := 0; p < int(geom.NumDirections); p++ {
+				r.in = append(r.in, n.newInputPort())
+				r.out = append(r.out, n.newOutputPort())
+			}
+			r.out[PortLocal].eject = true
+			n.Routers = append(n.Routers, r)
+		}
+	}
+	// Mesh links.
+	for _, r := range n.Routers {
+		for _, d := range []geom.Direction{geom.East, geom.West, geom.South, geom.North} {
+			np := r.pos.Add(d.Delta())
+			if !np.In(cfg.Width, cfg.Height) {
+				continue
+			}
+			nb := n.Routers[np.ID(cfg.Width)]
+			op := r.out[PortID(d)]
+			op.link = &link{to: nb, toPort: int(d.Opposite()), latency: 1}
+			r.dirOut[d] = int(d)
+			nb.in[int(d.Opposite())].upRouter = r
+			nb.in[int(d.Opposite())].upPort = int(d)
+		}
+	}
+
+	isCB := map[geom.Point]bool{}
+	for _, cb := range cfg.CBs {
+		isCB[cb] = true
+	}
+
+	// MultiPort extra injection/ejection ports at CB routers.
+	for _, r := range n.Routers {
+		if !isCB[r.pos] {
+			continue
+		}
+		for k := 1; k < cfg.EjectPortsPerCB; k++ {
+			op := n.newOutputPort()
+			op.eject = true
+			r.out = append(r.out, op)
+		}
+	}
+
+	// Ejection queues, one per class per node.
+	for c := range n.ejectQ {
+		n.ejectQ[c] = make([][]*Packet, cfg.Nodes())
+	}
+
+	// NIs. EquiNox CB NIs are created when EIR groups exist for the tile;
+	// MultiPort CB NIs when InjectPortsPerCB > 1; concentrated nodes get one
+	// independent NI per spoke; standard NIs otherwise.
+	n.spokes = 1
+	if cfg.SpokesPerNode > 1 {
+		n.spokes = cfg.SpokesPerNode
+	}
+	if n.spokes > 1 && (cfg.EIRGroups != nil || cfg.InjectPortsPerCB > 1) {
+		return nil, fmt.Errorf("noc: SpokesPerNode cannot combine with EIR groups or MultiPort")
+	}
+	for _, r := range n.Routers {
+		switch {
+		case n.spokes > 1:
+			n.nis = append(n.nis, newStandardNIAt(n, r, int(PortLocal)))
+			for k := 1; k < n.spokes; k++ {
+				port := n.addInjectionPort(r, nil)
+				ni := newStandardNIAt(n, r, port)
+				r.in[port].upNI = ni
+				n.nis = append(n.nis, ni)
+			}
+		case cfg.EIRGroups != nil && isCB[r.pos]:
+			n.nis = append(n.nis, newEquiNoxNI(n, r, cfg.EIRGroups[r.pos]))
+		case cfg.InjectPortsPerCB > 1 && isCB[r.pos]:
+			n.nis = append(n.nis, newMultiPortNI(n, r, cfg.InjectPortsPerCB))
+		default:
+			n.nis = append(n.nis, newStandardNI(n, r))
+		}
+	}
+	return n, nil
+}
+
+// Now returns the current cycle of this network's clock domain.
+func (n *Network) Now() int64 { return n.now }
+
+// TryInject enqueues a packet at its source NI (the spoke selected by
+// Packet.Spoke on concentrated networks); false if the queue is full. The
+// packet's Flits field is set from the network's flit width.
+func (n *Network) TryInject(p *Packet, now int64) bool {
+	if n.nis[p.Src*n.spokes+p.Spoke%n.spokes].tryEnqueue(p, now) {
+		p.Flits = SizeInFlits(p.Type, n.Cfg.FlitBytes, n.Cfg.LineBytes)
+		n.Stats.packetInjected(p, n.Cfg.FlitBytes)
+		return true
+	}
+	return false
+}
+
+// InjectSpace returns the free packet slots at a node's NI queue (spoke 0).
+func (n *Network) InjectSpace(node int) int { return n.nis[node*n.spokes].queueSpace() }
+
+// PopDelivered removes and returns the oldest fully-delivered packet at a
+// node, preferring replies, or nil.
+func (n *Network) PopDelivered(node int) *Packet {
+	if p := n.PopDeliveredClass(node, Reply); p != nil {
+		return p
+	}
+	return n.PopDeliveredClass(node, Request)
+}
+
+// PopDeliveredClass removes and returns the oldest delivered packet of a
+// class at a node, or nil.
+func (n *Network) PopDeliveredClass(node int, c Class) *Packet {
+	q := n.ejectQ[c][node]
+	if len(q) == 0 {
+		return nil
+	}
+	p := q[0]
+	n.ejectQ[c][node] = q[1:]
+	return p
+}
+
+// PeekDeliveredClass returns the oldest delivered packet of a class at a
+// node without removing it.
+func (n *Network) PeekDeliveredClass(node int, c Class) *Packet {
+	if len(n.ejectQ[c][node]) == 0 {
+		return nil
+	}
+	return n.ejectQ[c][node][0]
+}
+
+// ejectReady reports whether the node can accept another ejected flit of
+// the class (its reassembly/delivery queue is not saturated).
+func (n *Network) ejectReady(node int, c Class) bool {
+	return len(n.ejectQ[c][node]) < n.ejectCap
+}
+
+// ejectFlit consumes a flit at the ejection port; on the tail flit the
+// packet is delivered.
+func (n *Network) ejectFlit(node int, f *Flit, now int64) {
+	if f.IsTail {
+		f.Pkt.DeliveredAt = now
+		c := ClassOf(f.Pkt.Type)
+		n.ejectQ[c][node] = append(n.ejectQ[c][node], f.Pkt)
+		n.Stats.packetDelivered(f.Pkt, n.Cfg)
+		if n.OnDeliver != nil {
+			n.OnDeliver(f.Pkt)
+		}
+	}
+}
+
+// Step advances the network by one cycle.
+func (n *Network) Step() {
+	now := n.now
+	// 1. Deliver link arrivals due this cycle.
+	for _, r := range n.Routers {
+		r.deliverArrivals(now)
+	}
+	// 2. NI injection streams flits into router input buffers.
+	for _, ni := range n.nis {
+		ni.step(now)
+	}
+	// 3. Routing + VC allocation.
+	for _, r := range n.Routers {
+		r.vcAllocate()
+	}
+	// 4. Switch allocation + traversal.
+	moved := 0
+	for _, r := range n.Routers {
+		moved += r.switchAllocate(now)
+	}
+	if moved > 0 {
+		n.lastProgress = now
+	}
+	n.Stats.cycles++
+	n.now++
+}
+
+// Quiescent reports whether no packet or flit remains anywhere in the
+// network (all injected traffic delivered and consumed).
+func (n *Network) Quiescent() bool {
+	for _, ni := range n.nis {
+		if ni.pending() {
+			return false
+		}
+	}
+	for _, r := range n.Routers {
+		for _, ip := range r.in {
+			for _, vb := range ip.vcs {
+				if !vb.empty() {
+					return false
+				}
+			}
+		}
+		for _, op := range r.out {
+			if op.link != nil && len(op.link.inFlight) > 0 {
+				return false
+			}
+		}
+	}
+	for c := range n.ejectQ {
+		for _, q := range n.ejectQ[c] {
+			if len(q) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StalledFor returns how many cycles have elapsed without any flit movement;
+// tests use it as a deadlock watchdog.
+func (n *Network) StalledFor() int64 { return n.now - n.lastProgress }
+
+// RouterAt returns the router at a tile position.
+func (n *Network) RouterAt(p geom.Point) *Router {
+	if !p.In(n.Cfg.Width, n.Cfg.Height) {
+		return nil
+	}
+	return n.Routers[p.ID(n.Cfg.Width)]
+}
+
+// HeatMap returns the per-router average flit traversal cycles (Figure 4).
+func (n *Network) HeatMap() []float64 {
+	h := make([]float64, len(n.Routers))
+	for i, r := range n.Routers {
+		h[i] = r.AvgTraversalCycles()
+	}
+	return h
+}
+
+// standardNI is the baseline network interface. Request and reply packets
+// wait in separate FIFOs (as in real NIs, where the two classes have
+// dedicated buffers): on a shared physical network a blocked request must
+// never trap a reply behind it, or the M2F2M protocol loop deadlocks.
+type standardNI struct {
+	net    *Network
+	r      *Router
+	port   int // router input port this NI feeds
+	queues [NumClasses][]*Packet
+	cap    int
+	cur    *Packet
+	flits  []*Flit
+	sent   int
+	curVC  int
+	rrCls  int
+}
+
+func newStandardNI(n *Network, r *Router) *standardNI {
+	ni := newStandardNIAt(n, r, int(PortLocal))
+	r.in[PortLocal].upNI = ni
+	return ni
+}
+
+// newStandardNIAt builds a standard NI feeding an arbitrary input port
+// (concentration spokes). The caller wires the credit sink.
+func newStandardNIAt(n *Network, r *Router, port int) *standardNI {
+	return &standardNI{net: n, r: r, port: port, cap: n.Cfg.InjQueuePackets, curVC: noAlloc}
+}
+
+func (ni *standardNI) credit(int) {} // buffer space is inspected directly
+
+func (ni *standardNI) tryEnqueue(p *Packet, now int64) bool {
+	c := ClassOf(p.Type)
+	if len(ni.queues[c]) >= ni.cap {
+		return false
+	}
+	p.CreatedAt = now
+	ni.queues[c] = append(ni.queues[c], p)
+	return true
+}
+
+func (ni *standardNI) queueSpace() int {
+	s := ni.cap - len(ni.queues[Request])
+	if r := ni.cap - len(ni.queues[Reply]); r < s {
+		s = r
+	}
+	return s
+}
+
+func (ni *standardNI) pending() bool {
+	return len(ni.queues[Request]) > 0 || len(ni.queues[Reply]) > 0 || ni.cur != nil
+}
+
+// injectVC picks the input VC at the router's injection port with the most
+// free space that the packet's class may use; noAlloc when every allowed VC
+// is full. Packets stream back-to-back into the VC FIFO — each NI buffer is
+// the only writer of its port, so flits of one packet stay contiguous and
+// wormhole ordering holds without waiting for a full VC turnaround. A
+// borrowed VC (monopolization) must be completely empty, mirroring the
+// router-side rule: a borrowed reply must never queue behind a request.
+func injectVC(n *Network, ip *inputPort, cls Class) int {
+	best, bestFree := noAlloc, 0
+	for _, vc := range n.classVCs(cls) {
+		vb := ip.vcs[vc]
+		if n.Cfg.VCPolicy != VCPrivate && vc != int(cls) && !vb.empty() {
+			continue
+		}
+		if f := vb.free(); f > bestFree {
+			best, bestFree = vc, f
+		}
+	}
+	return best
+}
+
+func (ni *standardNI) step(now int64) {
+	if ni.cur == nil {
+		// Pick a class whose head packet can enter a VC right now,
+		// round-robin between classes for fairness; a blocked class never
+		// prevents the other from injecting.
+		ip := ni.r.in[ni.port]
+		for k := 0; k < int(NumClasses); k++ {
+			c := Class((ni.rrCls + k) % int(NumClasses))
+			if len(ni.queues[c]) == 0 {
+				continue
+			}
+			vc := injectVC(ni.net, ip, c)
+			if vc == noAlloc {
+				continue
+			}
+			ni.cur = ni.queues[c][0]
+			ni.queues[c] = ni.queues[c][1:]
+			ni.flits = MakeFlits(ni.cur)
+			ni.sent = 0
+			ni.curVC = vc
+			ni.cur.InjectedAt = now
+			ni.rrCls = (int(c) + 1) % int(NumClasses)
+			break
+		}
+		if ni.cur == nil {
+			return
+		}
+	}
+	// Stream one flit per cycle while buffer space remains.
+	ip := ni.r.in[ni.port]
+	vb := ip.vcs[ni.curVC]
+	if vb.free() > 0 && ni.sent < len(ni.flits) {
+		f := ni.flits[ni.sent]
+		f.enteredRouter = now
+		vb.q = append(vb.q, f)
+		ni.sent++
+		if ni.sent == len(ni.flits) {
+			ni.cur, ni.flits, ni.curVC = nil, nil, noAlloc
+		}
+	}
+}
+
+var _ injector = (*standardNI)(nil)
+
+func (n *Network) String() string {
+	return fmt.Sprintf("%s(%dx%d,%s,%s)", n.Cfg.Name, n.Cfg.Width, n.Cfg.Height, n.Cfg.Routing, n.Cfg.VCPolicy)
+}
+
+// DebugDump renders the live buffer state of every router: for each input
+// port VC with flits, the head packet, its allocation, and the blocking
+// condition. Diagnostic aid for deadlock analysis.
+func (n *Network) DebugDump() string {
+	var b []byte
+	add := func(s string) { b = append(b, s...) }
+	for _, r := range n.Routers {
+		hdr := false
+		for pi, ip := range r.in {
+			for vi, vb := range ip.vcs {
+				if vb.empty() {
+					continue
+				}
+				if !hdr {
+					add(fmt.Sprintf("router %v (node %d):\n", r.pos, r.node))
+					hdr = true
+				}
+				f := vb.q[0]
+				reason := "?"
+				if vb.outPort == noAlloc {
+					reason = "awaiting VC alloc"
+				} else {
+					op := r.out[vb.outPort]
+					if op.eject {
+						if !n.ejectReady(r.node, ClassOf(f.Pkt.Type)) {
+							reason = "eject queue full"
+						} else {
+							reason = "eject ready"
+						}
+					} else if op.credits[vb.outVC] <= 0 {
+						reason = "no credits"
+					} else {
+						reason = "has credits"
+					}
+				}
+				add(fmt.Sprintf("  in[%d].vc[%d]: %d flits, head pkt %v %d->%d out=%d/%d (%s)\n",
+					pi, vi, len(vb.q), f.Pkt.Type, f.Pkt.Src, f.Pkt.Dst, vb.outPort, vb.outVC, reason))
+			}
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,340 @@
+package noc
+
+import (
+	"equinox/internal/geom"
+)
+
+// addInjectionPort appends a new injection-only input port to a router and
+// returns its index. Used for EIR input ports and MultiPort CB injection.
+func (n *Network) addInjectionPort(r *Router, sink creditSink) int {
+	ip := n.newInputPort()
+	ip.upNI = sink
+	r.in = append(r.in, ip)
+	return len(r.in) - 1
+}
+
+// injBuffer is one single-packet injection buffer of a multi-buffer NI,
+// streaming into a specific router input port.
+type injBuffer struct {
+	r    *Router
+	port int
+
+	pkt   *Packet
+	flits []*Flit
+	sent  int
+	vc    int
+}
+
+func (b *injBuffer) busy() bool { return b.pkt != nil }
+
+// load assigns a packet to the buffer. The VC is chosen at the first stream
+// attempt so a briefly full router buffer does not drop the assignment.
+func (b *injBuffer) load(p *Packet) {
+	b.pkt = p
+	b.flits = MakeFlits(p)
+	b.sent = 0
+	b.vc = noAlloc
+}
+
+// stream pushes up to one flit into the router input VC; returns true while
+// the buffer still holds unsent flits.
+func (b *injBuffer) stream(n *Network, now int64) {
+	if b.pkt == nil {
+		return
+	}
+	ip := b.r.in[b.port]
+	if b.vc == noAlloc {
+		vc := injectVC(n, ip, ClassOf(b.pkt.Type))
+		if vc == noAlloc {
+			return
+		}
+		b.vc = vc
+		b.pkt.InjectedAt = now
+	}
+	vb := ip.vcs[b.vc]
+	if vb.free() > 0 && b.sent < len(b.flits) {
+		f := b.flits[b.sent]
+		f.enteredRouter = now
+		vb.q = append(vb.q, f)
+		b.sent++
+		if b.sent == len(b.flits) {
+			b.pkt, b.flits, b.vc = nil, nil, noAlloc
+		}
+	}
+}
+
+// equiNoxNI is the modified CB network interface of EquiNox (§4.4, Figure
+// 8): the injection buffer is split into five single-packet buffers — four
+// wired through the interposer to the CB's EIRs (one per axis direction) and
+// one to the local router. A buffer selector steers each packet to a
+// shortest-path EIR, to the local router when the preferred buffers are
+// busy, and retries otherwise.
+type equiNoxNI struct {
+	net   *Network
+	r     *Router // local CB router
+	cb    geom.Point
+	queue []*Packet
+	cap   int
+
+	local *injBuffer
+	// dir buffers indexed by geom.Direction (East..North); nil when the CB
+	// has no EIR in that direction.
+	dir [geom.NumDirections]*injBuffer
+	// eirOffset is the EIR's distance from the CB along its direction.
+	eirOffset [geom.NumDirections]int
+
+	rrQuadrant int // round-robin for two-candidate quadrant selection
+}
+
+func newEquiNoxNI(n *Network, r *Router, eirs []geom.Point) *equiNoxNI {
+	ni := &equiNoxNI{
+		net:   n,
+		r:     r,
+		cb:    r.pos,
+		cap:   n.Cfg.InjQueuePackets,
+		local: &injBuffer{r: r, port: int(PortLocal), vc: noAlloc},
+	}
+	r.in[PortLocal].upNI = ni
+	for _, e := range eirs {
+		dirs := geom.DirTowards(ni.cb, e)
+		if len(dirs) != 1 {
+			continue // EIRs are on-axis by construction; ignore malformed ones
+		}
+		d := dirs[0]
+		er := n.RouterAt(e)
+		port := n.addInjectionPort(er, ni)
+		ni.dir[d] = &injBuffer{r: er, port: port, vc: noAlloc}
+		ni.eirOffset[d] = geom.Manhattan(ni.cb, e)
+	}
+	return ni
+}
+
+func (ni *equiNoxNI) credit(int) {}
+
+func (ni *equiNoxNI) tryEnqueue(p *Packet, now int64) bool {
+	if len(ni.queue) >= ni.cap {
+		return false
+	}
+	p.CreatedAt = now
+	ni.queue = append(ni.queue, p)
+	return true
+}
+
+func (ni *equiNoxNI) queueSpace() int { return ni.cap - len(ni.queue) }
+
+func (ni *equiNoxNI) pending() bool {
+	if len(ni.queue) > 0 || ni.local.busy() {
+		return true
+	}
+	for _, b := range ni.dir {
+		if b != nil && b.busy() {
+			return true
+		}
+	}
+	return false
+}
+
+// shortestPathBuffer returns the EIR buffer for direction d if that EIR lies
+// on a shortest path to a destination with axis delta `delta` (|offset| must
+// not overshoot |delta|).
+func (ni *equiNoxNI) shortestPathBuffer(d geom.Direction, delta int) *injBuffer {
+	b := ni.dir[d]
+	if b == nil {
+		return nil
+	}
+	if ni.eirOffset[d] > delta {
+		return nil
+	}
+	return b
+}
+
+// selectBuffer implements the paper's Buffer Decision Policy ("Buffer
+// Selection 1"). It returns the chosen buffer, or nil to retry next cycle.
+func (ni *equiNoxNI) selectBuffer(dst geom.Point) *injBuffer {
+	dx := dst.X - ni.cb.X
+	dy := dst.Y - ni.cb.Y
+	var xb, yb *injBuffer
+	if dx > 0 {
+		xb = ni.shortestPathBuffer(geom.East, dx)
+	} else if dx < 0 {
+		xb = ni.shortestPathBuffer(geom.West, -dx)
+	}
+	if dy > 0 {
+		yb = ni.shortestPathBuffer(geom.South, dy)
+	} else if dy < 0 {
+		yb = ni.shortestPathBuffer(geom.North, -dy)
+	}
+
+	if dx == 0 || dy == 0 {
+		// On-axis destination: one and only one shortest-path EIR.
+		b := xb
+		if dx == 0 {
+			b = yb
+		}
+		if b != nil && !b.busy() {
+			return b
+		}
+		if !ni.local.busy() {
+			return ni.local
+		}
+		return nil
+	}
+	// Quadrant destination: up to two shortest-path EIRs.
+	var avail []*injBuffer
+	if xb != nil && !xb.busy() {
+		avail = append(avail, xb)
+	}
+	if yb != nil && !yb.busy() {
+		avail = append(avail, yb)
+	}
+	switch len(avail) {
+	case 2:
+		ni.rrQuadrant ^= 1
+		return avail[ni.rrQuadrant]
+	case 1:
+		return avail[0]
+	}
+	if !ni.local.busy() {
+		return ni.local
+	}
+	return nil
+}
+
+func (ni *equiNoxNI) step(now int64) {
+	// Dispatch the queue head to a buffer per the selection policy.
+	if len(ni.queue) > 0 {
+		p := ni.queue[0]
+		dst := geom.FromID(p.Dst, ni.net.Cfg.Width)
+		if b := ni.selectBuffer(dst); b != nil {
+			b.load(p)
+			ni.queue = ni.queue[1:]
+		}
+	}
+	// All five buffers stream concurrently (the split buffers are the whole
+	// point: up to five flits leave the NI per cycle). Flits that go to an
+	// EIR buffer cross an interposer wire.
+	ni.local.stream(ni.net, now)
+	for d := geom.East; d < geom.NumDirections; d++ {
+		if b := ni.dir[d]; b != nil {
+			before := b.sent
+			b.stream(ni.net, now)
+			if b.sent > before {
+				ni.net.Stats.InterposerFlits++
+			}
+		}
+	}
+}
+
+var _ injector = (*equiNoxNI)(nil)
+
+// multiPortNI models the MultiPort scheme [2]: the NI owns several
+// single-packet buffers, each wired to its own injection port on the local
+// router, widening injection bandwidth without distributing it. Requests
+// and replies wait in separate FIFOs (see standardNI) — the CMesh overlay
+// reuses this NI for its concentration spokes, where both classes mix.
+type multiPortNI struct {
+	net     *Network
+	r       *Router
+	queues  [NumClasses][]*Packet
+	cap     int
+	bufs    []*injBuffer
+	rr      int
+	rrCls   int
+	assigns int // packet dispatches per cycle
+}
+
+func newMultiPortNI(n *Network, r *Router, ports int) *multiPortNI {
+	ni := &multiPortNI{net: n, r: r, cap: n.Cfg.InjQueuePackets, assigns: 1}
+	if n.Cfg.NIAssignsPerCycle > 1 {
+		ni.assigns = n.Cfg.NIAssignsPerCycle
+	}
+	r.in[PortLocal].upNI = ni
+	ni.bufs = append(ni.bufs, &injBuffer{r: r, port: int(PortLocal), vc: noAlloc})
+	for k := 1; k < ports; k++ {
+		port := n.addInjectionPort(r, ni)
+		ni.bufs = append(ni.bufs, &injBuffer{r: r, port: port, vc: noAlloc})
+	}
+	return ni
+}
+
+func (ni *multiPortNI) credit(int) {}
+
+func (ni *multiPortNI) tryEnqueue(p *Packet, now int64) bool {
+	c := ClassOf(p.Type)
+	if len(ni.queues[c]) >= ni.cap {
+		return false
+	}
+	p.CreatedAt = now
+	ni.queues[c] = append(ni.queues[c], p)
+	return true
+}
+
+func (ni *multiPortNI) queueSpace() int {
+	s := ni.cap - len(ni.queues[Request])
+	if r := ni.cap - len(ni.queues[Reply]); r < s {
+		s = r
+	}
+	return s
+}
+
+func (ni *multiPortNI) pending() bool {
+	if len(ni.queues[Request]) > 0 || len(ni.queues[Reply]) > 0 {
+		return true
+	}
+	for _, b := range ni.bufs {
+		if b.busy() {
+			return true
+		}
+	}
+	return false
+}
+
+func (ni *multiPortNI) step(now int64) {
+	// Assign one head packet to a free buffer, alternating classes so a
+	// blocked class never starves the other. One class may never occupy
+	// every buffer: a backpressured request stream hogging all buffers
+	// would trap replies in the NI and close the M2F2M protocol loop.
+	busyOf := func(c Class) int {
+		n := 0
+		for _, b := range ni.bufs {
+			if b.busy() && ClassOf(b.pkt.Type) == c {
+				n++
+			}
+		}
+		return n
+	}
+	for a := 0; a < ni.assigns; a++ {
+		assigned := false
+		for k := 0; k < int(NumClasses); k++ {
+			c := Class((ni.rrCls + k) % int(NumClasses))
+			if len(ni.queues[c]) == 0 {
+				continue
+			}
+			if len(ni.bufs) > 1 && busyOf(c) >= len(ni.bufs)-1 {
+				continue // leave one buffer for the other class
+			}
+			for j := 0; j < len(ni.bufs); j++ {
+				b := ni.bufs[(ni.rr+j)%len(ni.bufs)]
+				if !b.busy() {
+					b.load(ni.queues[c][0])
+					ni.queues[c] = ni.queues[c][1:]
+					ni.rr = (ni.rr + j + 1) % len(ni.bufs)
+					assigned = true
+					break
+				}
+			}
+			if assigned {
+				ni.rrCls = (int(c) + 1) % int(NumClasses)
+				break
+			}
+		}
+		if !assigned {
+			break
+		}
+	}
+	for _, b := range ni.bufs {
+		b.stream(ni.net, now)
+	}
+}
+
+var _ injector = (*multiPortNI)(nil)

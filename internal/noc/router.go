@@ -1,0 +1,438 @@
+package noc
+
+import (
+	"equinox/internal/geom"
+)
+
+// PortID indexes a router's input or output ports. On mesh routers ports
+// 0..4 follow geom.Direction order (Local, East, West, South, North); extra
+// injection/ejection ports (EIR, MultiPort) follow.
+type PortID int
+
+// Base port indices.
+const (
+	PortLocal PortID = PortID(geom.Local)
+	PortEast  PortID = PortID(geom.East)
+	PortWest  PortID = PortID(geom.West)
+	PortSouth PortID = PortID(geom.South)
+	PortNorth PortID = PortID(geom.North)
+)
+
+const noAlloc = -1
+
+// vcBuf is one virtual-channel buffer of an input port.
+type vcBuf struct {
+	q   []*Flit
+	cap int
+
+	// Allocation state for the packet at the head of the buffer.
+	outPort int // allocated output port, noAlloc if none
+	outVC   int // allocated downstream VC, noAlloc if none
+}
+
+func (b *vcBuf) free() int   { return b.cap - len(b.q) }
+func (b *vcBuf) empty() bool { return len(b.q) == 0 }
+
+// inputPort is one input port with its VC buffers and the upstream entity
+// that receives our credits.
+type inputPort struct {
+	vcs []*vcBuf
+
+	// Credit return path: either an upstream router output port or an NI.
+	upRouter *Router
+	upPort   int
+	upNI     creditSink
+	rrVC     int // round-robin pointer for switch allocation
+}
+
+// creditSink receives credits for NI-fed input ports.
+type creditSink interface {
+	credit(vc int)
+}
+
+// outputPort is one output port: a link to a downstream router input port,
+// or an ejection port delivering to the local node.
+type outputPort struct {
+	link *link // nil for ejection ports
+
+	// Downstream VC bookkeeping (links only).
+	credits []int // free downstream buffer slots per VC
+	owner   []int // owning (inPort*maxVC+vc) per downstream VC, noAlloc if free
+
+	eject bool
+	rrIn  int // round-robin pointer for output arbitration
+}
+
+// link carries flits in flight between routers with a fixed latency.
+type link struct {
+	to      *Router
+	toPort  int
+	latency int64
+	// inFlight holds flits with their arrival cycle and target VC.
+	inFlight []flitInFlight
+}
+
+type flitInFlight struct {
+	f   *Flit
+	vc  int
+	due int64
+}
+
+// Router is one input-buffered VC router.
+type Router struct {
+	id   int
+	pos  geom.Point
+	net  *Network
+	in   []*inputPort
+	out  []*outputPort
+	node int // node (tile) ID this router serves; -1 for pure transit routers
+
+	// dirOut maps geometric directions to output port IDs (noAlloc if the
+	// router has no neighbour in that direction).
+	dirOut [geom.NumDirections]int
+
+	rrInPort int // round-robin over input ports for VC allocation fairness
+
+	// Stats: cumulative flit-cycles spent in this router and flits passed,
+	// for the Figure 4 heat maps.
+	occupancyCycles int64
+	flitsThrough    int64
+}
+
+// Pos returns the router's tile coordinate.
+func (r *Router) Pos() geom.Point { return r.pos }
+
+// newInputPort builds an input port with the network's VC configuration.
+func (n *Network) newInputPort() *inputPort {
+	p := &inputPort{upPort: noAlloc}
+	for v := 0; v < n.Cfg.VCsPerPort; v++ {
+		p.vcs = append(p.vcs, &vcBuf{
+			cap:     n.Cfg.VCDepthFlits,
+			outPort: noAlloc,
+			outVC:   noAlloc,
+		})
+	}
+	return p
+}
+
+func (n *Network) newOutputPort() *outputPort {
+	p := &outputPort{}
+	for v := 0; v < n.Cfg.VCsPerPort; v++ {
+		p.credits = append(p.credits, n.Cfg.VCDepthFlits)
+		p.owner = append(p.owner, noAlloc)
+	}
+	return p
+}
+
+// vcOrderByCredit lists the output port's VCs most-free first, for adaptive
+// VC selection on single-class networks.
+func (c Config) vcOrderByCredit(op *outputPort) []int {
+	vcs := make([]int, c.VCsPerPort)
+	for i := range vcs {
+		vcs[i] = i
+	}
+	for i := 1; i < len(vcs); i++ {
+		for j := i; j > 0 && op.credits[vcs[j]] > op.credits[vcs[j-1]]; j-- {
+			vcs[j], vcs[j-1] = vcs[j-1], vcs[j]
+		}
+	}
+	return vcs
+}
+
+// classVCs returns, in preference order, the downstream VCs a packet of
+// class c may claim under the network's VC policy, for a non-escape
+// allocation on output port op.
+func (n *Network) classVCs(c Class) []int {
+	switch n.Cfg.VCPolicy {
+	case VCByClass:
+		return []int{int(c)}
+	case VCMonopolize:
+		if c == Reply {
+			// Monopolization: replies prefer their own VC but may borrow the
+			// request VC when free. Requests never borrow reply VCs so reply
+			// progress cannot depend on request progress.
+			return []int{int(Reply), int(Request)}
+		}
+		return []int{int(Request)}
+	default: // VCPrivate
+		vcs := make([]int, n.Cfg.VCsPerPort)
+		for i := range vcs {
+			vcs[i] = i
+		}
+		return vcs
+	}
+}
+
+// routeCandidates lists candidate (output port, downstream VC) pairs in
+// preference order for the head packet of input VC (ip, vc).
+type routeCand struct {
+	port int
+	vc   int
+}
+
+func (r *Router) routeCandidates(f *Flit) []routeCand {
+	n := r.net
+	dst := geom.FromID(f.Pkt.Dst, n.Cfg.Width)
+	if dst == r.pos {
+		// Ejection. MultiPort CB routers may have several ejection ports.
+		var cands []routeCand
+		for pi, op := range r.out {
+			if op.eject {
+				cands = append(cands, routeCand{port: pi, vc: 0})
+			}
+		}
+		return cands
+	}
+
+	cls := ClassOf(f.Pkt.Type)
+	dirs := geom.DirTowards(r.pos, dst)
+	xyDir := dirs[0] // X first: DirTowards emits the X direction first
+
+	var cands []routeCand
+	switch n.Cfg.Routing {
+	case RoutingXY:
+		op := r.dirOut[xyDir]
+		for _, vc := range n.classVCs(cls) {
+			cands = append(cands, routeCand{port: op, vc: vc})
+		}
+	case RoutingMinimalAdaptive:
+		// West-first minimal adaptive (Glass & Ni's turn model): all
+		// westward hops are taken first and deterministically; eastbound
+		// packets choose adaptively among their productive directions by
+		// downstream credit. The turn restriction makes the channel
+		// dependence graph acyclic with ordinary wormhole flow control, so
+		// every VC is usable at full throughput with no escape channel.
+		var allowed []geom.Direction
+		if dst.X < r.pos.X {
+			allowed = []geom.Direction{geom.West}
+		} else {
+			allowed = dirs
+		}
+		type scored struct {
+			port, credits int
+		}
+		var adaptive []scored
+		for _, d := range allowed {
+			op := r.dirOut[d]
+			if op == noAlloc {
+				continue
+			}
+			total := 0
+			for v := 0; v < n.Cfg.VCsPerPort; v++ {
+				total += r.out[op].credits[v]
+			}
+			adaptive = append(adaptive, scored{op, total})
+		}
+		// Stable selection: higher credit first, then port order.
+		for i := 1; i < len(adaptive); i++ {
+			for j := i; j > 0 && adaptive[j].credits > adaptive[j-1].credits; j-- {
+				adaptive[j], adaptive[j-1] = adaptive[j-1], adaptive[j]
+			}
+		}
+		for _, s := range adaptive {
+			for _, vc := range n.Cfg.vcOrderByCredit(r.out[s.port]) {
+				cands = append(cands, routeCand{port: s.port, vc: vc})
+			}
+		}
+	}
+	return cands
+}
+
+// vcAllocate performs VC allocation for head flits without an output.
+func (r *Router) vcAllocate() {
+	nin := len(r.in)
+	for k := 0; k < nin; k++ {
+		ipIx := (r.rrInPort + k) % nin
+		ip := r.in[ipIx]
+		for vcIx, vb := range ip.vcs {
+			if vb.outPort != noAlloc || vb.empty() {
+				continue
+			}
+			head := vb.q[0]
+			if !head.IsHead {
+				continue // mid-packet without allocation cannot happen, but be safe
+			}
+			for _, c := range r.routeCandidates(head) {
+				if c.port == noAlloc {
+					continue
+				}
+				op := r.out[c.port]
+				if op.eject {
+					vb.outPort, vb.outVC = c.port, 0
+					break
+				}
+				if op.owner[c.vc] != noAlloc {
+					continue
+				}
+				// VC monopolization safety: borrowing the other class's VC
+				// is only allowed when its downstream buffer is completely
+				// empty. A borrowed reply must never queue behind a blocked
+				// request (or vice versa), or the M2F2M protocol loop —
+				// requests waiting on the CB, the CB waiting on reply
+				// injection, replies waiting behind requests — deadlocks.
+				if r.net.Cfg.VCPolicy == VCMonopolize &&
+					c.vc != int(ClassOf(head.Pkt.Type)) &&
+					op.credits[c.vc] < r.net.Cfg.VCDepthFlits {
+					continue
+				}
+				// Deadlock freedom: both routing modes (XY and west-first
+				// adaptive) have acyclic channel dependence graphs, so
+				// owner-free acquisition with ordinary wormhole flow control
+				// suffices.
+				op.owner[c.vc] = allocKey(ipIx, vcIx)
+				vb.outPort, vb.outVC = c.port, c.vc
+				break
+			}
+		}
+	}
+	r.rrInPort = (r.rrInPort + 1) % nin
+}
+
+func allocKey(inPort, vc int) int { return inPort*64 + vc }
+
+// switchAllocate runs separable input-first switch allocation and traverses
+// the granted flits. Returns the number of flits moved.
+func (r *Router) switchAllocate(now int64) int {
+	n := r.net
+	// Input stage: each input port nominates one VC.
+	type req struct {
+		ip   *inputPort
+		ipIx int
+		vb   *vcBuf
+		vcIx int
+	}
+	var reqs []req
+	for i, ip := range r.in {
+		nvc := len(ip.vcs)
+		for k := 0; k < nvc; k++ {
+			vi := (ip.rrVC + k) % nvc
+			vb := ip.vcs[vi]
+			if vb.empty() || vb.outPort == noAlloc {
+				continue
+			}
+			f := vb.q[0]
+			if f.enteredRouter >= now {
+				continue // one-cycle router pipeline
+			}
+			op := r.out[vb.outPort]
+			if op.eject {
+				if !n.ejectReady(r.node, ClassOf(f.Pkt.Type)) {
+					continue
+				}
+			} else if op.credits[vb.outVC] <= 0 {
+				continue
+			}
+			reqs = append(reqs, req{ip, i, vb, vi})
+			ip.rrVC = (vi + 1) % nvc
+			break
+		}
+	}
+	// Output stage: one grant per output port, round-robin over inputs.
+	granted := map[int]req{}
+	for pi := range r.out {
+		op := r.out[pi]
+		var want []req
+		for _, q := range reqs {
+			if q.vb.outPort == pi {
+				want = append(want, q)
+			}
+		}
+		if len(want) == 0 {
+			continue
+		}
+		// Round-robin among input ports.
+		best := want[0]
+		bestScore := ((best.ipIx - op.rrIn) + len(r.in)) % len(r.in)
+		for _, q := range want[1:] {
+			s := ((q.ipIx - op.rrIn) + len(r.in)) % len(r.in)
+			if s < bestScore {
+				best, bestScore = q, s
+			}
+		}
+		// Input-first allocation nominates at most one VC per input port, so
+		// granting per-output cannot double-grant an input.
+		granted[pi] = best
+		op.rrIn = (best.ipIx + 1) % len(r.in)
+	}
+	// Switch traversal (fixed port order for determinism).
+	moved := 0
+	for pi := range r.out {
+		q, ok := granted[pi]
+		if !ok {
+			continue
+		}
+		op := r.out[pi]
+		f := q.vb.q[0]
+		q.vb.q = q.vb.q[1:]
+		moved++
+		r.occupancyCycles += now - f.enteredRouter
+		r.flitsThrough++
+		// Return a credit upstream.
+		if q.ip.upRouter != nil {
+			q.ip.upRouter.out[q.ip.upPort].credits[q.vcIx]++
+		} else if q.ip.upNI != nil {
+			q.ip.upNI.credit(q.vcIx)
+		}
+		n.Stats.FlitHops++
+		if op.eject {
+			n.Stats.EjectFlits++
+			n.ejectFlit(r.node, f, now)
+		} else {
+			n.Stats.LinkFlits++
+			op.credits[q.vb.outVC]--
+			op.link.inFlight = append(op.link.inFlight, flitInFlight{
+				f:   f,
+				vc:  q.vb.outVC,
+				due: now + op.link.latency,
+			})
+		}
+		if f.IsTail {
+			if !op.eject {
+				op.owner[q.vb.outVC] = noAlloc
+			}
+			q.vb.outPort, q.vb.outVC = noAlloc, noAlloc
+		}
+	}
+	return moved
+}
+
+// deliverArrivals moves due in-flight flits into downstream input buffers.
+func (r *Router) deliverArrivals(now int64) {
+	for _, op := range r.out {
+		if op.link == nil {
+			continue
+		}
+		lnk := op.link
+		w := 0
+		for _, ff := range lnk.inFlight {
+			if ff.due <= now {
+				ff.f.enteredRouter = now
+				tgt := lnk.to.in[lnk.toPort].vcs[ff.vc]
+				tgt.q = append(tgt.q, ff.f)
+			} else {
+				lnk.inFlight[w] = ff
+				w++
+			}
+		}
+		lnk.inFlight = lnk.inFlight[:w]
+	}
+}
+
+// FlitsThrough returns the number of flits that traversed this router.
+func (r *Router) FlitsThrough() int64 { return r.flitsThrough }
+
+// NumInPorts returns the router's input port count (including injection-only
+// extra ports), which sizes its crossbar and allocators.
+func (r *Router) NumInPorts() int { return len(r.in) }
+
+// NumOutPorts returns the router's output port count.
+func (r *Router) NumOutPorts() int { return len(r.out) }
+
+// AvgTraversalCycles returns the mean number of cycles a flit spent inside
+// this router (Figure 4's per-router metric). Zero if no flits passed.
+func (r *Router) AvgTraversalCycles() float64 {
+	if r.flitsThrough == 0 {
+		return 0
+	}
+	return float64(r.occupancyCycles) / float64(r.flitsThrough)
+}

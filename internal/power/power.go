@@ -1,0 +1,203 @@
+// Package power is a DSENT-style energy and area model for the NoCs under
+// study, extended — as the paper extends DSENT — with interposer links and
+// the new EquiNox components (extra NI buffers, extra EIR router ports).
+//
+// Coefficients are calibrated to a 28 nm design point (the paper's
+// synthesis technology). Absolute joules are not the claim; the structural
+// scaling (ports, VCs, buffer depth, flit width, link length, activity) that
+// drives the paper's *relative* comparisons is.
+package power
+
+import (
+	"fmt"
+
+	"equinox/internal/noc"
+)
+
+// Coefficients holds the technology constants.
+type Coefficients struct {
+	// Dynamic energy per 128-bit flit event, in pJ. Scaled linearly with
+	// flit width, and for the crossbar with port count.
+	EBufWrite float64
+	EBufRead  float64
+	EXbarBase float64 // per flit for a 5×5 crossbar
+	EArb      float64
+
+	// Link traversal energy per flit per mm, in pJ.
+	ELinkPerMM     float64
+	EIntpLinkPerMM float64 // RDL wires: slightly lower C than on-die repeated wires
+
+	// Leakage power in mW.
+	PLeakRouterBase float64 // 5-port, 2-VC, one-packet-deep, 128-bit router
+	PLeakNIBuffer   float64 // per packet-sized NI injection buffer
+
+	// Area in mm².
+	ABufPerFlitEntry float64 // per flit-entry of 128-bit buffer
+	AXbarPerPort2    float64 // × ports², 128-bit
+	AAllocPerPort    float64
+	ANIBuffer        float64 // one packet-sized injection buffer
+	TilePitchMM      float64
+}
+
+// Default28nm returns the calibrated 28 nm coefficients.
+func Default28nm() Coefficients {
+	return Coefficients{
+		EBufWrite:        1.2,
+		EBufRead:         0.9,
+		EXbarBase:        2.0,
+		EArb:             0.35,
+		ELinkPerMM:       2.0,
+		EIntpLinkPerMM:   1.7,
+		PLeakRouterBase:  1.1,
+		PLeakNIBuffer:    0.06,
+		ABufPerFlitEntry: 0.00085,
+		AXbarPerPort2:    0.0018,
+		AAllocPerPort:    0.0006,
+		ANIBuffer:        0.009,
+		TilePitchMM:      1.5,
+	}
+}
+
+// RouterSpec describes one router's structure for area/leakage purposes.
+type RouterSpec struct {
+	InPorts   int
+	OutPorts  int
+	VCs       int
+	DepthFlit int
+	FlitBytes int
+}
+
+func (s RouterSpec) widthScale() float64 { return float64(s.FlitBytes) / 16.0 }
+
+func (s RouterSpec) xbarPorts() int {
+	if s.InPorts > s.OutPorts {
+		return s.InPorts
+	}
+	return s.OutPorts
+}
+
+// RouterArea returns the router's silicon area in mm².
+func (c Coefficients) RouterArea(s RouterSpec) float64 {
+	ws := s.widthScale()
+	buf := float64(s.InPorts*s.VCs*s.DepthFlit) * c.ABufPerFlitEntry * ws
+	p := float64(s.xbarPorts())
+	xbar := c.AXbarPerPort2 * p * p * ws
+	alloc := c.AAllocPerPort * p * float64(s.VCs)
+	return buf + xbar + alloc
+}
+
+// RouterLeakageMW returns the router's leakage power in mW, scaled from the
+// base design point by area ratio.
+func (c Coefficients) RouterLeakageMW(s RouterSpec) float64 {
+	base := c.RouterArea(RouterSpec{InPorts: 5, OutPorts: 5, VCs: 2, DepthFlit: 9, FlitBytes: 16})
+	return c.PLeakRouterBase * c.RouterArea(s) / base
+}
+
+// EnergyBreakdown itemizes a network's energy in pJ.
+type EnergyBreakdown struct {
+	BufferPJ   float64
+	XbarPJ     float64
+	ArbPJ      float64
+	LinkPJ     float64
+	IntpLinkPJ float64
+	LeakagePJ  float64
+}
+
+// TotalPJ sums the components.
+func (e EnergyBreakdown) TotalPJ() float64 {
+	return e.BufferPJ + e.XbarPJ + e.ArbPJ + e.LinkPJ + e.IntpLinkPJ + e.LeakagePJ
+}
+
+// Add accumulates another breakdown.
+func (e *EnergyBreakdown) Add(o EnergyBreakdown) {
+	e.BufferPJ += o.BufferPJ
+	e.XbarPJ += o.XbarPJ
+	e.ArbPJ += o.ArbPJ
+	e.LinkPJ += o.LinkPJ
+	e.IntpLinkPJ += o.IntpLinkPJ
+	e.LeakagePJ += o.LeakagePJ
+}
+
+// NetworkCost is the energy and area of one physical network instance plus
+// its NIs.
+type NetworkCost struct {
+	Energy  EnergyBreakdown
+	AreaMM2 float64
+}
+
+// NetworkOptions carries the per-network physical attributes the Config
+// cannot know.
+type NetworkOptions struct {
+	// LinkPitchMM is the physical length of one mesh link (tile pitches ×
+	// pitch for concentrated meshes).
+	LinkPitchMM float64
+	// LinksInInterposer prices mesh-link traversals as interposer wires
+	// (Interposer-CMesh).
+	LinksInInterposer bool
+	// ExtraNIBuffers counts packet-sized injection buffers beyond the one
+	// per standard NI (EquiNox: +4 per CB; MultiPort: +k-1 per CB).
+	ExtraNIBuffers int
+	// InterposerLinkMM is the length of EIR interposer links (per flit).
+	InterposerLinkMM float64
+}
+
+// Evaluate computes the energy and area of a simulated network from its
+// activity counters and structure.
+func (c Coefficients) Evaluate(n *noc.Network, opt NetworkOptions) NetworkCost {
+	var cost NetworkCost
+	ws := float64(n.Cfg.FlitBytes) / 16.0
+
+	// Dynamic energy.
+	s := &n.Stats
+	perFlit := (c.EBufWrite + c.EBufRead) * ws
+	cost.Energy.BufferPJ = float64(s.FlitHops) * perFlit
+	cost.Energy.ArbPJ = float64(s.FlitHops) * c.EArb
+	for _, r := range n.Routers {
+		p := float64(r.NumInPorts())
+		cost.Energy.XbarPJ += float64(r.FlitsThrough()) * c.EXbarBase * (p / 5.0) * ws
+	}
+	linkMM := opt.LinkPitchMM
+	if linkMM == 0 {
+		linkMM = c.TilePitchMM
+	}
+	linkE := c.ELinkPerMM
+	if opt.LinksInInterposer {
+		linkE = c.EIntpLinkPerMM
+	}
+	cost.Energy.LinkPJ = float64(s.LinkFlits) * linkE * linkMM * ws
+	intpMM := opt.InterposerLinkMM
+	if intpMM == 0 {
+		intpMM = 2 * c.TilePitchMM // EquiNox 2-hop EIR links
+	}
+	cost.Energy.IntpLinkPJ = float64(s.InterposerFlits) * c.EIntpLinkPerMM * intpMM * ws
+
+	// Structure-dependent leakage and area.
+	leakMW := 0.0
+	for _, r := range n.Routers {
+		spec := RouterSpec{
+			InPorts:   r.NumInPorts(),
+			OutPorts:  r.NumOutPorts(),
+			VCs:       n.Cfg.VCsPerPort,
+			DepthFlit: n.Cfg.VCDepthFlits,
+			FlitBytes: n.Cfg.FlitBytes,
+		}
+		cost.AreaMM2 += c.RouterArea(spec)
+		leakMW += c.RouterLeakageMW(spec)
+	}
+	nNIBuf := n.Cfg.Nodes() + opt.ExtraNIBuffers
+	cost.AreaMM2 += float64(nNIBuf) * c.ANIBuffer * ws
+	leakMW += float64(nNIBuf) * c.PLeakNIBuffer
+
+	seconds := float64(s.Cycles()) / (n.Cfg.ClockGHz * 1e9)
+	cost.Energy.LeakagePJ = leakMW * 1e-3 * seconds * 1e12 // W × s → pJ
+	return cost
+}
+
+// EDP returns the energy-delay product in pJ·ns.
+func EDP(totalPJ, execNS float64) float64 { return totalPJ * execNS }
+
+// String implements fmt.Stringer.
+func (e EnergyBreakdown) String() string {
+	return fmt.Sprintf("buf=%.0f xbar=%.0f arb=%.0f link=%.0f intp=%.0f leak=%.0f total=%.0f pJ",
+		e.BufferPJ, e.XbarPJ, e.ArbPJ, e.LinkPJ, e.IntpLinkPJ, e.LeakagePJ, e.TotalPJ())
+}

@@ -1,0 +1,147 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+
+	"equinox/internal/noc"
+)
+
+func TestRouterAreaScaling(t *testing.T) {
+	c := Default28nm()
+	base := RouterSpec{InPorts: 5, OutPorts: 5, VCs: 2, DepthFlit: 9, FlitBytes: 16}
+	a := c.RouterArea(base)
+	if a <= 0 {
+		t.Fatal("base area not positive")
+	}
+	// More ports → more area (MultiPort, CMesh routers).
+	wide := base
+	wide.InPorts, wide.OutPorts = 9, 9
+	if c.RouterArea(wide) <= a {
+		t.Error("8-port router not larger than 5-port")
+	}
+	// Narrow flits (DA2Mesh subnets) → less area.
+	narrow := base
+	narrow.FlitBytes = 2
+	if c.RouterArea(narrow) >= a {
+		t.Error("narrow router not smaller")
+	}
+	// Deeper buffers → more area.
+	deep := base
+	deep.DepthFlit = 18
+	if c.RouterArea(deep) <= a {
+		t.Error("deeper buffers not larger")
+	}
+}
+
+func TestLeakageScalesWithArea(t *testing.T) {
+	c := Default28nm()
+	base := RouterSpec{InPorts: 5, OutPorts: 5, VCs: 2, DepthFlit: 9, FlitBytes: 16}
+	if l := c.RouterLeakageMW(base); l <= 0 {
+		t.Fatal("leakage not positive")
+	}
+	big := base
+	big.InPorts = 10
+	if c.RouterLeakageMW(big) <= c.RouterLeakageMW(base) {
+		t.Error("leakage does not grow with structure")
+	}
+}
+
+// runTraffic drives a network with random traffic and returns it.
+func runTraffic(t *testing.T, cfg noc.Config, cycles int) *noc.Network {
+	t.Helper()
+	n, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for cyc := 0; cyc < cycles; cyc++ {
+		p := &noc.Packet{Type: noc.ReadReply, Src: rng.Intn(cfg.Nodes()), Dst: rng.Intn(cfg.Nodes())}
+		n.TryInject(p, n.Now())
+		for node := 0; node < cfg.Nodes(); node++ {
+			for n.PopDelivered(node) != nil {
+			}
+		}
+		n.Step()
+	}
+	return n
+}
+
+func TestEvaluateProducesEnergy(t *testing.T) {
+	c := Default28nm()
+	n := runTraffic(t, noc.DefaultConfig("t", 4, 4), 500)
+	cost := c.Evaluate(n, NetworkOptions{})
+	if cost.Energy.TotalPJ() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if cost.Energy.BufferPJ <= 0 || cost.Energy.XbarPJ <= 0 || cost.Energy.LinkPJ <= 0 {
+		t.Errorf("dynamic components missing: %v", cost.Energy)
+	}
+	if cost.Energy.LeakagePJ <= 0 {
+		t.Error("leakage missing")
+	}
+	if cost.AreaMM2 <= 0 {
+		t.Error("area missing")
+	}
+}
+
+func TestMoreTrafficMoreEnergy(t *testing.T) {
+	c := Default28nm()
+	light := runTraffic(t, noc.DefaultConfig("l", 4, 4), 100)
+	heavy := runTraffic(t, noc.DefaultConfig("h", 4, 4), 1000)
+	el := c.Evaluate(light, NetworkOptions{}).Energy.TotalPJ()
+	eh := c.Evaluate(heavy, NetworkOptions{}).Energy.TotalPJ()
+	if eh <= el {
+		t.Errorf("heavy traffic energy %f not above light %f", eh, el)
+	}
+}
+
+func TestInterposerOptionsPriced(t *testing.T) {
+	c := Default28nm()
+	n := runTraffic(t, noc.DefaultConfig("t", 4, 4), 300)
+	plain := c.Evaluate(n, NetworkOptions{})
+	intp := c.Evaluate(n, NetworkOptions{LinksInInterposer: true})
+	// Interposer wires have lower per-mm energy at the same pitch.
+	if intp.Energy.LinkPJ >= plain.Energy.LinkPJ {
+		t.Errorf("interposer link energy %f not below on-chip %f",
+			intp.Energy.LinkPJ, plain.Energy.LinkPJ)
+	}
+	withBufs := c.Evaluate(n, NetworkOptions{ExtraNIBuffers: 32})
+	if withBufs.AreaMM2 <= plain.AreaMM2 {
+		t.Error("extra NI buffers not reflected in area")
+	}
+	if withBufs.Energy.LeakagePJ <= plain.Energy.LeakagePJ {
+		t.Error("extra NI buffers not reflected in leakage")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	if EDP(10, 5) != 50 {
+		t.Error("EDP arithmetic wrong")
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := EnergyBreakdown{BufferPJ: 1, LinkPJ: 2}
+	a.Add(EnergyBreakdown{BufferPJ: 3, LeakagePJ: 4})
+	if a.BufferPJ != 4 || a.LinkPJ != 2 || a.LeakagePJ != 4 {
+		t.Errorf("add wrong: %+v", a)
+	}
+	if a.TotalPJ() != 10 {
+		t.Errorf("total %f", a.TotalPJ())
+	}
+}
+
+func TestSeparateNetworksCostMoreAreaThanSingle(t *testing.T) {
+	// The Figure 11 relationship at the structural level: two physical
+	// networks ≈ 2× the router area of one.
+	c := Default28nm()
+	single := runTraffic(t, noc.DefaultConfig("s", 8, 8), 10)
+	areaSingle := c.Evaluate(single, NetworkOptions{}).AreaMM2
+	req := runTraffic(t, noc.DefaultConfig("q", 8, 8), 10)
+	rep := runTraffic(t, noc.DefaultConfig("p", 8, 8), 10)
+	areaSep := c.Evaluate(req, NetworkOptions{}).AreaMM2 + c.Evaluate(rep, NetworkOptions{}).AreaMM2
+	if areaSep < 1.8*areaSingle {
+		t.Errorf("separate area %f not ≈2× single %f", areaSep, areaSingle)
+	}
+}

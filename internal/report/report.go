@@ -1,0 +1,122 @@
+// Package report renders evaluation results as a self-contained markdown
+// document: the paper's figures as tables, headline reductions, and the
+// design summary — the artifact a user hands around after running the
+// harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Row is one (scheme, value) pair of a metric table.
+type Row struct {
+	Scheme string
+	Value  float64
+}
+
+// Section is one figure/table of the report.
+type Section struct {
+	Title string
+	Note  string
+	// Columns hold named per-scheme series, e.g. "exec", "energy".
+	Columns []string
+	// Cells[scheme][columnIdx].
+	Cells map[string][]float64
+	// Order fixes the scheme ordering.
+	Order []string
+}
+
+// Document is a whole report.
+type Document struct {
+	Title     string
+	Generated time.Time // zero value omits the timestamp line
+	Intro     string
+	Sections  []Section
+	Footnotes []string
+}
+
+// markdownEscape keeps cell text table-safe.
+func markdownEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}
+
+// Render writes the document as markdown.
+func (d *Document) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n\n", markdownEscape(d.Title)); err != nil {
+		return err
+	}
+	if !d.Generated.IsZero() {
+		fmt.Fprintf(w, "_Generated %s_\n\n", d.Generated.Format(time.RFC3339))
+	}
+	if d.Intro != "" {
+		fmt.Fprintf(w, "%s\n\n", d.Intro)
+	}
+	for _, s := range d.Sections {
+		if err := s.render(w); err != nil {
+			return err
+		}
+	}
+	if len(d.Footnotes) > 0 {
+		fmt.Fprintln(w, "## Notes")
+		fmt.Fprintln(w)
+		for i, n := range d.Footnotes {
+			fmt.Fprintf(w, "%d. %s\n", i+1, n)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func (s *Section) render(w io.Writer) error {
+	fmt.Fprintf(w, "## %s\n\n", markdownEscape(s.Title))
+	if s.Note != "" {
+		fmt.Fprintf(w, "%s\n\n", s.Note)
+	}
+	// Header.
+	fmt.Fprintf(w, "| scheme |")
+	for _, c := range s.Columns {
+		fmt.Fprintf(w, " %s |", markdownEscape(c))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|")
+	for range s.Columns {
+		fmt.Fprintf(w, "---|")
+	}
+	fmt.Fprintln(w)
+	order := s.Order
+	if order == nil {
+		for k := range s.Cells {
+			order = append(order, k)
+		}
+		sort.Strings(order)
+	}
+	for _, scheme := range order {
+		vals, ok := s.Cells[scheme]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "| %s |", markdownEscape(scheme))
+		for i := range s.Columns {
+			if i < len(vals) {
+				fmt.Fprintf(w, " %.3f |", vals[i])
+			} else {
+				fmt.Fprintf(w, " |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Reduction formats "A is X% below B" comparisons.
+func Reduction(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (a/b-1)*100)
+}

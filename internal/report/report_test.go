@@ -1,0 +1,69 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderDocument(t *testing.T) {
+	d := &Document{
+		Title:     "Test | report",
+		Generated: time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC),
+		Intro:     "intro text",
+		Sections: []Section{{
+			Title:   "Figure X",
+			Note:    "a note",
+			Columns: []string{"exec", "energy"},
+			Cells: map[string][]float64{
+				"A": {1.0, 2.0},
+				"B": {0.5},
+			},
+			Order: []string{"A", "B"},
+		}},
+		Footnotes: []string{"first note"},
+	}
+	var buf bytes.Buffer
+	if err := d.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"# Test \\| report", "_Generated 2026-07-06", "intro text",
+		"## Figure X", "| scheme | exec | energy |", "| A | 1.000 | 2.000 |",
+		"| B | 0.500 | |", "## Notes", "1. first note",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderWithoutOrderSortsSchemes(t *testing.T) {
+	d := &Document{Title: "t", Sections: []Section{{
+		Title:   "s",
+		Columns: []string{"v"},
+		Cells:   map[string][]float64{"zeta": {1}, "alpha": {2}},
+	}}}
+	var buf bytes.Buffer
+	if err := d.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Error("schemes not sorted")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if Reduction(0.5, 1.0) != "-50.0%" {
+		t.Errorf("got %s", Reduction(0.5, 1.0))
+	}
+	if Reduction(1.1, 1.0) != "+10.0%" {
+		t.Errorf("got %s", Reduction(1.1, 1.0))
+	}
+	if Reduction(1, 0) != "n/a" {
+		t.Error("zero base not handled")
+	}
+}

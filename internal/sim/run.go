@@ -1,0 +1,530 @@
+package sim
+
+import (
+	"fmt"
+
+	"equinox/internal/geom"
+	"equinox/internal/gpu"
+	"equinox/internal/noc"
+	"equinox/internal/power"
+	"equinox/internal/workloads"
+)
+
+// Result summarizes one full-system simulation.
+type Result struct {
+	Scheme    SchemeKind
+	Benchmark string
+
+	ExecCycles   int64
+	ExecNS       float64
+	Instructions int64
+	IPC          float64
+	TimedOut     bool
+
+	// Packet latency breakdown in nanoseconds (Figure 10's four parts).
+	ReqQueueNS float64
+	ReqNetNS   float64
+	RepQueueNS float64
+	RepNetNS   float64
+
+	ReplyBitShare float64 // §2.2's reply share of NoC bits
+
+	Energy  power.EnergyBreakdown
+	AreaMM2 float64
+
+	L1HitRate float64
+	L2HitRate float64
+}
+
+// TotalLatencyNS returns the delivered-weighted average packet latency.
+func (r Result) TotalLatencyNS() float64 {
+	return r.ReqQueueNS + r.ReqNetNS + r.RepQueueNS + r.RepNetNS
+}
+
+// EDP returns the energy-delay product (pJ·ns).
+func (r Result) EDP() float64 { return power.EDP(r.Energy.TotalPJ(), r.ExecNS) }
+
+// System is one instantiated full-system simulation.
+type System struct {
+	cfg  Config
+	prof workloads.Profile
+
+	cbs     []geom.Point
+	cbIndex map[geom.Point]int // tile → bank
+	pes     map[int]*gpu.PE    // node → PE
+	peList  []*gpu.PE          // deterministic iteration order
+	banks   []*gpu.CB
+
+	nets     *networkSet
+	subnetRR []int // per-bank round-robin over DA2Mesh subnets
+	now      int64
+}
+
+// NewSystem builds a system for one scheme and benchmark profile.
+func NewSystem(cfg Config, prof workloads.Profile) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	cbs, err := cfg.CBTiles()
+	if err != nil {
+		return nil, err
+	}
+	nets, err := cfg.buildNetworks(cbs)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:     cfg,
+		prof:    prof,
+		cbs:     cbs,
+		cbIndex: map[geom.Point]int{},
+		pes:     map[int]*gpu.PE{},
+		nets:    nets,
+	}
+	for i, cb := range cbs {
+		s.cbIndex[cb] = i
+		bank, err := gpu.NewCB(i, cfg.CB)
+		if err != nil {
+			return nil, err
+		}
+		s.banks = append(s.banks, bank)
+	}
+	s.subnetRR = make([]int, len(cbs))
+	instr := prof.Instructions
+	if cfg.InstructionsPerPE > 0 {
+		instr = cfg.InstructionsPerPE
+	}
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			p := geom.Pt(x, y)
+			if _, isCB := s.cbIndex[p]; isCB {
+				continue
+			}
+			node := p.ID(cfg.Width)
+			gen := prof.NewGenerator(node, instr, cfg.Seed)
+			pe, err := gpu.NewPE(node, cfg.PE, gen)
+			if err != nil {
+				return nil, err
+			}
+			s.pes[node] = pe
+			s.peList = append(s.peList, pe)
+		}
+	}
+	return s, nil
+}
+
+// bankFor maps an address to its cache bank (line-interleaved, Table 1's
+// eight banks).
+func (s *System) bankFor(addr uint64) int {
+	line := addr / uint64(workloads.LineBytes)
+	return int(line % uint64(len(s.cbs)))
+}
+
+// cmeshNode maps a tile to its concentrated-mesh router node.
+func (s *System) cmeshNode(tile int) int {
+	p := geom.FromID(tile, s.cfg.Width)
+	cw := (s.cfg.Width + 1) / 2
+	return (p.Y/2)*cw + p.X/2
+}
+
+// cmeshSpoke is the tile's dedicated injection spoke at its CMesh router.
+func (s *System) cmeshSpoke(tile int) int {
+	p := geom.FromID(tile, s.cfg.Width)
+	return (p.Y%2)*2 + p.X%2
+}
+
+// useCMesh reports whether a packet between two tiles takes the interposer
+// CMesh (long-distance traffic in the Interposer-CMesh scheme).
+func (s *System) useCMesh(src, dst int) bool {
+	if s.nets.cmesh == nil {
+		return false
+	}
+	a := geom.FromID(src, s.cfg.Width)
+	b := geom.FromID(dst, s.cfg.Width)
+	if geom.Manhattan(a, b) <= s.cfg.CMeshHopThreshold {
+		return false
+	}
+	return s.cmeshNode(src) != s.cmeshNode(dst)
+}
+
+// injectRequest routes a PE request transaction into the proper network.
+func (s *System) injectRequest(tx *gpu.Transaction) bool {
+	bank := s.bankFor(tx.Addr)
+	dst := s.cbs[bank].ID(s.cfg.Width)
+	typ := noc.ReadRequest
+	if tx.Write {
+		typ = noc.WriteRequest
+	}
+	if s.useCMesh(tx.PE, dst) {
+		p := &noc.Packet{Type: typ, Src: s.cmeshNode(tx.PE), Dst: s.cmeshNode(dst),
+			Spoke: s.cmeshSpoke(tx.PE), Payload: tx}
+		if s.nets.cmesh.TryInject(p, s.nets.cmesh.Now()) {
+			return true
+		}
+		// The base mesh reaches everywhere: fall through when the spoke is
+		// busy — the two networks inject in parallel.
+	}
+	p := &noc.Packet{Type: typ, Src: tx.PE, Dst: dst, Payload: tx}
+	return s.nets.base.TryInject(p, s.nets.base.Now())
+}
+
+// injectReply routes a CB reply transaction into the proper network.
+func (s *System) injectReply(bank int, tx *gpu.Transaction) bool {
+	src := s.cbs[bank].ID(s.cfg.Width)
+	typ := noc.ReadReply
+	if tx.Write {
+		typ = noc.WriteReply
+	}
+	switch {
+	case s.nets.subnets != nil:
+		// Round-robin across the narrow subnets ([5] distributes packets
+		// among the subnetworks to use their aggregate injection bandwidth).
+		for k := 0; k < len(s.nets.subnets); k++ {
+			sub := s.nets.subnets[(s.subnetRR[bank]+k)%len(s.nets.subnets)]
+			p := &noc.Packet{Type: typ, Src: src, Dst: tx.PE, Payload: tx}
+			if sub.TryInject(p, sub.Now()) {
+				s.subnetRR[bank] = (s.subnetRR[bank] + k + 1) % len(s.nets.subnets)
+				return true
+			}
+		}
+		return false
+	case s.nets.reply != nil:
+		p := &noc.Packet{Type: typ, Src: src, Dst: tx.PE, Payload: tx}
+		return s.nets.reply.TryInject(p, s.nets.reply.Now())
+	case s.useCMesh(src, tx.PE):
+		p := &noc.Packet{Type: typ, Src: s.cmeshNode(src), Dst: s.cmeshNode(tx.PE),
+			Spoke: s.cmeshSpoke(src), Payload: tx}
+		if s.nets.cmesh.TryInject(p, s.nets.cmesh.Now()) {
+			return true
+		}
+		// Fall back to the base mesh: the CB NI and its interposer spoke
+		// inject in parallel, which is where the extra network's capacity
+		// pays off at the reply bottleneck.
+		pb := &noc.Packet{Type: typ, Src: src, Dst: tx.PE, Payload: tx}
+		return s.nets.base.TryInject(pb, s.nets.base.Now())
+	default:
+		p := &noc.Packet{Type: typ, Src: src, Dst: tx.PE, Payload: tx}
+		return s.nets.base.TryInject(p, s.nets.base.Now())
+	}
+}
+
+// drainEjections pops delivered packets from every network and hands them to
+// the right endpoint model. Each cache bank consumes at most one request per
+// core cycle (its single request pipeline), tracked across all networks —
+// under Interposer-CMesh a bank can receive from both the base mesh and the
+// CMesh in the same cycle.
+func (s *System) drainEjections() {
+	servedBank := make([]bool, len(s.banks))
+	drainTile := func(net *noc.Network) {
+		for node := 0; node < net.Cfg.Nodes(); node++ {
+			// Replies and write acks drain freely into the PEs.
+			for budget := 4; budget > 0; budget-- {
+				p := net.PeekDeliveredClass(node, noc.Reply)
+				if p == nil {
+					break
+				}
+				tx := p.Payload.(*gpu.Transaction)
+				// Read and write replies both retire the PE's outstanding
+				// transaction (writes are posted but still tracked for MSHR
+				// accounting).
+				if pe, ok := s.pes[tx.PE]; ok {
+					pe.Complete(tx.Line)
+				}
+				net.PopDeliveredClass(node, noc.Reply)
+			}
+			// Requests: a CMesh node aggregates several tiles, so keep
+			// popping while the head requests hit distinct, unserved banks.
+			for budget := 4; budget > 0; budget-- {
+				p := net.PeekDeliveredClass(node, noc.Request)
+				if p == nil {
+					break
+				}
+				tx := p.Payload.(*gpu.Transaction)
+				bank := s.bankFor(tx.Addr)
+				if servedBank[bank] {
+					break // head-of-line wait until next cycle
+				}
+				if !s.banks[bank].ProcessRequest(tx, s.now) {
+					break // CB backpressure: leave it in the eject queue
+				}
+				servedBank[bank] = true
+				net.PopDeliveredClass(node, noc.Request)
+			}
+		}
+	}
+	drainTile(s.nets.base)
+	if s.nets.reply != nil {
+		drainTile(s.nets.reply)
+	}
+	for _, sub := range s.nets.subnets {
+		drainTile(sub)
+	}
+	if s.nets.cmesh != nil {
+		drainTile(s.nets.cmesh)
+	}
+}
+
+// Step advances the system one core cycle.
+func (s *System) Step() {
+	// 1. Memory side.
+	for _, cb := range s.banks {
+		cb.Step(s.now)
+	}
+	// 2. Endpoint ejection handling.
+	s.drainEjections()
+	// 3. CB reply injection: the NI core logic serializes packet processing,
+	// one enqueue per CB per cycle (§4.4's NI model; DA2Mesh's parallelism
+	// comes from the eight subnet NIs streaming concurrently afterwards).
+	for bank := range s.banks {
+		if tx := s.banks[bank].PeekReply(); tx != nil {
+			if s.injectReply(bank, tx) {
+				s.banks[bank].PopReply()
+			}
+		}
+	}
+	// 4. PE issue (fixed tile order for determinism).
+	for _, pe := range s.peList {
+		pe.Step(s.injectRequest)
+	}
+	// 5. Advance networks: base + reply + cmesh in the core domain,
+	// DA2Mesh subnets in their faster domain.
+	s.nets.base.Step()
+	if s.nets.reply != nil {
+		s.nets.reply.Step()
+	}
+	if s.nets.cmesh != nil {
+		s.nets.cmesh.Step()
+	}
+	if s.nets.subnets != nil {
+		s.nets.subnetAcc += s.cfg.DA2MeshClockRatio
+		for s.nets.subnetAcc >= 1 {
+			for _, sub := range s.nets.subnets {
+				sub.Step()
+			}
+			s.nets.subnetAcc--
+		}
+	}
+	s.now++
+}
+
+// Finished reports whether every PE retired its budget and all queues
+// everywhere drained.
+func (s *System) Finished() bool {
+	for _, pe := range s.peList {
+		if !pe.Finished() {
+			return false
+		}
+	}
+	for _, cb := range s.banks {
+		if !cb.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the simulation to completion and gathers the result.
+func Run(cfg Config, prof workloads.Profile) (Result, error) {
+	s, err := NewSystem(cfg, prof)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunToCompletion()
+}
+
+// RunToCompletion drives Step until the system finishes or hits MaxCycles.
+func (s *System) RunToCompletion() (Result, error) {
+	for !s.Finished() {
+		if s.now >= s.cfg.MaxCycles {
+			res := s.collect()
+			res.TimedOut = true
+			return res, fmt.Errorf("sim: %v/%s exceeded %d cycles", s.cfg.Scheme, s.prof.Name, s.cfg.MaxCycles)
+		}
+		s.Step()
+	}
+	return s.collect(), nil
+}
+
+// collect aggregates statistics into a Result.
+func (s *System) collect() Result {
+	res := Result{
+		Scheme:     s.cfg.Scheme,
+		Benchmark:  s.prof.Name,
+		ExecCycles: s.now,
+		ExecNS:     float64(s.now) / s.cfg.CoreClockGHz,
+	}
+	for _, pe := range s.peList {
+		res.Instructions += pe.Instructions
+	}
+	if s.now > 0 {
+		res.IPC = float64(res.Instructions) / float64(s.now)
+	}
+
+	// Latency breakdown in ns, weighted by delivered packets per network.
+	nets := []*noc.Network{s.nets.base}
+	if s.nets.reply != nil {
+		nets = append(nets, s.nets.reply)
+	}
+	nets = append(nets, s.nets.subnets...)
+	if s.nets.cmesh != nil {
+		nets = append(nets, s.nets.cmesh)
+	}
+	var reqN, repN float64
+	var reqQ, reqT, repQ, repT float64
+	var bitsReq, bitsRep float64
+	for _, n := range nets {
+		st := &n.Stats
+		ghz := n.Cfg.ClockGHz
+		dq := float64(st.Delivered[noc.Request])
+		dp := float64(st.Delivered[noc.Reply])
+		reqN += dq
+		repN += dp
+		reqQ += float64(st.QueueCycles[noc.Request]) / ghz
+		reqT += float64(st.NetCycles[noc.Request]) / ghz
+		repQ += float64(st.QueueCycles[noc.Reply]) / ghz
+		repT += float64(st.NetCycles[noc.Reply]) / ghz
+		bitsReq += float64(st.Bits[noc.Request])
+		bitsRep += float64(st.Bits[noc.Reply])
+	}
+	if reqN > 0 {
+		res.ReqQueueNS = reqQ / reqN
+		res.ReqNetNS = reqT / reqN
+	}
+	if repN > 0 {
+		res.RepQueueNS = repQ / repN
+		res.RepNetNS = repT / repN
+	}
+	if bitsReq+bitsRep > 0 {
+		res.ReplyBitShare = bitsRep / (bitsReq + bitsRep)
+	}
+
+	// Energy and area.
+	coef := power.Default28nm()
+	for _, n := range nets {
+		opt := power.NetworkOptions{}
+		switch {
+		case n == s.nets.cmesh:
+			opt.LinksInInterposer = true
+			opt.LinkPitchMM = 2 * coef.TilePitchMM
+		case n == s.nets.reply && s.cfg.Scheme == EquiNox:
+			opt.ExtraNIBuffers = 4 * len(s.cbs)
+			opt.InterposerLinkMM = 2 * coef.TilePitchMM
+		case n == s.nets.reply && s.cfg.Scheme == MultiPort:
+			opt.ExtraNIBuffers = (s.cfg.MultiPortPorts - 1) * len(s.cbs)
+		}
+		cost := coef.Evaluate(n, opt)
+		res.Energy.Add(cost.Energy)
+		res.AreaMM2 += cost.AreaMM2
+	}
+
+	// Cache diagnostics.
+	var l1h, l1m, l2h, l2m int64
+	for _, pe := range s.peList {
+		l1h += pe.L1.Hits
+		l1m += pe.L1.Misses
+	}
+	for _, cb := range s.banks {
+		l2h += cb.L2Hits
+		l2m += cb.L2Misses
+	}
+	if l1h+l1m > 0 {
+		res.L1HitRate = float64(l1h) / float64(l1h+l1m)
+	}
+	if l2h+l2m > 0 {
+		res.L2HitRate = float64(l2h) / float64(l2h+l2m)
+	}
+	return res
+}
+
+// DebugState summarizes live counters for diagnosing stalls; exported for
+// the development harness and tests.
+func (s *System) DebugState() string {
+	finished, outst := 0, 0
+	stalled := 0
+	var instr int64
+	for _, pe := range s.peList {
+		if pe.Finished() {
+			finished++
+		}
+		outst += pe.Outstanding()
+		instr += pe.Instructions
+	}
+	_ = stalled
+	drained := 0
+	pend := 0
+	for _, cb := range s.banks {
+		if cb.Drained() {
+			drained++
+		}
+		pend += cb.MC.Pending()
+	}
+	bs := &s.nets.base.Stats
+	out := fmt.Sprintf("cyc=%d peFin=%d/%d outst=%d instr=%d cbDrained=%d mcPend=%d baseInj=%v baseDel=%v",
+		s.now, finished, len(s.peList), outst, instr, drained, pend, bs.Injected, bs.Delivered)
+	if s.nets.reply != nil {
+		rs := &s.nets.reply.Stats
+		out += fmt.Sprintf(" repInj=%v repDel=%v repStall=%d", rs.Injected, rs.Delivered, s.nets.reply.StalledFor())
+	}
+	out += fmt.Sprintf(" baseStall=%d", s.nets.base.StalledFor())
+	return out
+}
+
+// DebugCMesh reports the CMesh network's stall state; diagnostic helper.
+func (s *System) DebugCMesh() string {
+	if s.nets.cmesh == nil {
+		return "no cmesh"
+	}
+	cs := &s.nets.cmesh.Stats
+	return fmt.Sprintf("cmeshInj=%v cmeshDel=%v cmeshStall=%d quiescent=%v",
+		cs.Injected, cs.Delivered, s.nets.cmesh.StalledFor(), s.nets.cmesh.Quiescent())
+}
+
+// DebugCMeshDump exposes the CMesh network's buffer state.
+func (s *System) DebugCMeshDump() string {
+	if s.nets.cmesh == nil {
+		return ""
+	}
+	return s.nets.cmesh.DebugDump()
+}
+
+// DebugBanks summarizes cache-bank stall counters.
+func (s *System) DebugBanks() string {
+	out := ""
+	for i, cb := range s.banks {
+		out += fmt.Sprintf("bank %d: req=%d hits=%d misses=%d writes=%d stallMC=%d stallOut=%d\n",
+			i, cb.Requests, cb.L2Hits, cb.L2Misses, cb.Writes, cb.StallOnMC, cb.StallOnOut)
+	}
+	return out
+}
+
+// Networks lists the system's physical networks in a stable order: the base
+// (request) network first, then the reply network / subnets / CMesh overlay
+// as the scheme defines them. Exposed for tracing and tooling.
+func (s *System) Networks() []*noc.Network {
+	nets := []*noc.Network{s.nets.base}
+	if s.nets.reply != nil {
+		nets = append(nets, s.nets.reply)
+	}
+	nets = append(nets, s.nets.subnets...)
+	if s.nets.cmesh != nil {
+		nets = append(nets, s.nets.cmesh)
+	}
+	return nets
+}
+
+// ReplyNetworks lists only the networks that carry reply traffic.
+func (s *System) ReplyNetworks() []*noc.Network {
+	switch {
+	case s.nets.subnets != nil:
+		return append([]*noc.Network(nil), s.nets.subnets...)
+	case s.nets.reply != nil:
+		return []*noc.Network{s.nets.reply}
+	case s.nets.cmesh != nil:
+		return []*noc.Network{s.nets.base, s.nets.cmesh}
+	default:
+		return []*noc.Network{s.nets.base}
+	}
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"testing"
+
+	"equinox/internal/geom"
+	"equinox/internal/noc"
+	"equinox/internal/workloads"
+)
+
+// buildFor instantiates the networks of a scheme without running it.
+func buildFor(t *testing.T, s SchemeKind) (*System, Config) {
+	t.Helper()
+	cfg := smallConfig(s, t)
+	prof, err := workloads.ByName("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, cfg
+}
+
+func TestSingleBaseStructure(t *testing.T) {
+	sys, _ := buildFor(t, SingleBase)
+	if sys.nets.reply != nil || sys.nets.cmesh != nil || sys.nets.subnets != nil {
+		t.Error("SingleBase must have exactly one network")
+	}
+	if sys.nets.base.Cfg.VCPolicy != noc.VCByClass {
+		t.Error("SingleBase must split VCs by class")
+	}
+	if sys.nets.base.Cfg.Routing != noc.RoutingXY {
+		t.Error("shared-class network must use XY routing")
+	}
+}
+
+func TestVCMonoStructure(t *testing.T) {
+	sys, _ := buildFor(t, VCMono)
+	if sys.nets.base.Cfg.VCPolicy != noc.VCMonopolize {
+		t.Error("VC-Mono must use monopolization")
+	}
+}
+
+func TestInterposerCMeshStructure(t *testing.T) {
+	sys, cfg := buildFor(t, InterposerCMesh)
+	cm := sys.nets.cmesh
+	if cm == nil {
+		t.Fatal("CMesh network missing")
+	}
+	if cm.Cfg.Width != (cfg.Width+1)/2 || cm.Cfg.Height != (cfg.Height+1)/2 {
+		t.Errorf("CMesh size %dx%d", cm.Cfg.Width, cm.Cfg.Height)
+	}
+	if cm.Cfg.FlitBytes != 32 {
+		t.Errorf("CMesh flit width %d, want 32 (256-bit links)", cm.Cfg.FlitBytes)
+	}
+	if cm.Cfg.SpokesPerNode != 4 || cm.Cfg.EjectPortsPerCB != 4 {
+		t.Error("CMesh concentration spokes missing")
+	}
+	// The 2×-port routers of §6.5: 5 base + 3 spokes in, 5 base + 3 eject out.
+	r := cm.RouterAt(geom.Pt(1, 1))
+	if r.NumInPorts() != 8 || r.NumOutPorts() != 8 {
+		t.Errorf("CMesh router ports %d/%d, want 8/8", r.NumInPorts(), r.NumOutPorts())
+	}
+}
+
+func TestSeparateBaseStructure(t *testing.T) {
+	sys, _ := buildFor(t, SeparateBase)
+	if sys.nets.reply == nil {
+		t.Fatal("reply network missing")
+	}
+	for _, n := range []*noc.Network{sys.nets.base, sys.nets.reply} {
+		if n.Cfg.VCPolicy != noc.VCPrivate {
+			t.Error("separate networks are single-class")
+		}
+		if n.Cfg.Routing != noc.RoutingMinimalAdaptive {
+			t.Error("separate networks use minimal adaptive routing")
+		}
+	}
+}
+
+func TestDA2MeshStructure(t *testing.T) {
+	sys, cfg := buildFor(t, DA2Mesh)
+	if len(sys.nets.subnets) != cfg.DA2MeshSubnets {
+		t.Fatalf("%d subnets", len(sys.nets.subnets))
+	}
+	for _, sub := range sys.nets.subnets {
+		if sub.Cfg.FlitBytes != 2 {
+			t.Errorf("subnet flit %dB, want 2 (1/8 width)", sub.Cfg.FlitBytes)
+		}
+		if sub.Cfg.ClockGHz != cfg.CoreClockGHz*cfg.DA2MeshClockRatio {
+			t.Errorf("subnet clock %f", sub.Cfg.ClockGHz)
+		}
+		if sub.Cfg.Routing != noc.RoutingXY {
+			t.Error("narrow subnets use simple DOR routers")
+		}
+	}
+	// A reply serializes to 65 narrow flits on a subnet.
+	if n := noc.SizeInFlits(noc.ReadReply, 2, 128); n != 65 {
+		t.Errorf("subnet reply = %d flits", n)
+	}
+}
+
+func TestMultiPortStructure(t *testing.T) {
+	sys, cfg := buildFor(t, MultiPort)
+	if sys.nets.reply.Cfg.InjectPortsPerCB != cfg.MultiPortPorts {
+		t.Error("reply-side injection ports missing")
+	}
+	if sys.nets.base.Cfg.EjectPortsPerCB != cfg.MultiPortPorts {
+		t.Error("request-side ejection ports missing")
+	}
+	// CB routers gained 3 extra injection input ports on the reply network.
+	cb := sys.cbs[0]
+	r := sys.nets.reply.RouterAt(cb)
+	if r.NumInPorts() != 5+cfg.MultiPortPorts-1 {
+		t.Errorf("CB reply router in-ports = %d", r.NumInPorts())
+	}
+	// And 3 extra ejection output ports on the request network.
+	rq := sys.nets.base.RouterAt(cb)
+	if rq.NumOutPorts() != 5+cfg.MultiPortPorts-1 {
+		t.Errorf("CB request router out-ports = %d", rq.NumOutPorts())
+	}
+}
+
+func TestEquiNoxStructure(t *testing.T) {
+	sys, cfg := buildFor(t, EquiNox)
+	if sys.nets.reply == nil {
+		t.Fatal("reply network missing")
+	}
+	if sys.nets.reply.Cfg.EIRGroups == nil {
+		t.Fatal("EIR groups not wired")
+	}
+	// Every EIR router gained exactly one injection port; CB local routers
+	// did not change.
+	eirCount := 0
+	for cb, eirs := range cfg.EIRGroups {
+		for _, e := range eirs {
+			eirCount++
+			r := sys.nets.reply.RouterAt(e)
+			if r.NumInPorts() != 6 {
+				t.Errorf("EIR router %v has %d input ports, want 6", e, r.NumInPorts())
+			}
+		}
+		r := sys.nets.reply.RouterAt(cb)
+		if r.NumInPorts() != 5 {
+			t.Errorf("CB router %v has %d input ports, want 5", cb, r.NumInPorts())
+		}
+	}
+	if eirCount == 0 {
+		t.Fatal("design has no EIRs")
+	}
+	// The request network is untouched (§4.4: request routers unchanged).
+	for _, eirs := range cfg.EIRGroups {
+		for _, e := range eirs {
+			if n := sys.nets.base.RouterAt(e).NumInPorts(); n != 5 {
+				t.Errorf("request-network router %v modified: %d ports", e, n)
+			}
+		}
+	}
+}
+
+func TestEquiNoxUsesInterposerLinks(t *testing.T) {
+	prof, _ := workloads.ByName("kmeans")
+	cfg := smallConfig(EquiNox, t)
+	sys, err := NewSystem(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.nets.reply.Stats.InterposerFlits == 0 {
+		t.Error("no flits crossed the interposer EIR links")
+	}
+	// The majority of reply flits should bypass the local router: the EIR
+	// links carry them directly to routers two hops out.
+	total := sys.nets.reply.Stats.FlitHops
+	intp := sys.nets.reply.Stats.InterposerFlits
+	if float64(intp) < 0.3*float64(total)/4 {
+		t.Errorf("interposer flits %d look too low vs %d hops", intp, total)
+	}
+}
+
+func TestBankInterleavingCoversAllBanks(t *testing.T) {
+	sys, _ := buildFor(t, SeparateBase)
+	seen := map[int]bool{}
+	for line := uint64(0); line < 64; line++ {
+		seen[sys.bankFor(line*128)] = true
+	}
+	if len(seen) != len(sys.banks) {
+		t.Errorf("interleaving hits %d of %d banks", len(seen), len(sys.banks))
+	}
+}
+
+func TestCMeshNodeMapping(t *testing.T) {
+	sys, _ := buildFor(t, InterposerCMesh)
+	// All four tiles of a quadrant map to one cmesh node with distinct spokes.
+	nodes := map[int]bool{}
+	spokes := map[int]bool{}
+	for _, p := range []geom.Point{geom.Pt(2, 2), geom.Pt(3, 2), geom.Pt(2, 3), geom.Pt(3, 3)} {
+		nodes[sys.cmeshNode(p.ID(8))] = true
+		spokes[sys.cmeshSpoke(p.ID(8))] = true
+	}
+	if len(nodes) != 1 {
+		t.Error("quadrant tiles map to different cmesh nodes")
+	}
+	if len(spokes) != 4 {
+		t.Error("quadrant tiles share spokes")
+	}
+}

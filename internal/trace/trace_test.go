@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"equinox/internal/noc"
+)
+
+// runTraced drives a 4×4 network with n packets and returns the recorder.
+func runTraced(t *testing.T, cap int, pkts int) *Recorder {
+	t.Helper()
+	n, err := noc.New(noc.DefaultConfig("t", 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{Cap: cap}
+	rec.Attach(n)
+	rng := rand.New(rand.NewSource(1))
+	sent := 0
+	for cyc := 0; cyc < 5000 && (sent < pkts || !n.Quiescent()); cyc++ {
+		if sent < pkts {
+			typ := noc.ReadRequest
+			if sent%2 == 0 {
+				typ = noc.ReadReply
+			}
+			p := &noc.Packet{ID: int64(sent), Type: typ, Src: rng.Intn(16), Dst: rng.Intn(16)}
+			if n.TryInject(p, n.Now()) {
+				sent++
+			}
+		}
+		for node := 0; node < 16; node++ {
+			for n.PopDelivered(node) != nil {
+			}
+		}
+		n.Step()
+	}
+	return rec
+}
+
+func TestRecorderCapturesAll(t *testing.T) {
+	rec := runTraced(t, 0, 60)
+	if len(rec.Records) != 60 {
+		t.Fatalf("recorded %d of 60", len(rec.Records))
+	}
+	for _, r := range rec.Records {
+		if r.DeliveredAt < r.InjectedAt || r.InjectedAt < r.CreatedAt {
+			t.Fatalf("timestamps out of order: %+v", r)
+		}
+		if r.TotalCycles() != r.QueueCycles()+r.NetCycles() {
+			t.Fatal("latency parts don't add up")
+		}
+		if r.Flits < 1 {
+			t.Fatal("flits missing")
+		}
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	rec := runTraced(t, 10, 60)
+	if len(rec.Records) != 10 {
+		t.Fatalf("cap ignored: %d records", len(rec.Records))
+	}
+	if rec.Dropped != 50 {
+		t.Errorf("dropped = %d, want 50", rec.Dropped)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rec := runTraced(t, 0, 20)
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 21 { // header + 20
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0][0] != "id" || rows[0][9] != "netCycles" {
+		t.Errorf("header wrong: %v", rows[0])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rec := runTraced(t, 0, 15)
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []Record
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 15 {
+		t.Fatalf("%d records", len(out))
+	}
+	if out[0].TypeName == "" {
+		t.Error("type name missing in JSON")
+	}
+}
+
+func TestHistogramAndPercentiles(t *testing.T) {
+	rec := runTraced(t, 0, 80)
+	h, err := rec.NewHistogram(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 80 {
+		t.Errorf("histogram N = %d", h.N)
+	}
+	var sum int64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 80 {
+		t.Errorf("bin counts sum to %d", sum)
+	}
+	p50, err := rec.Percentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, err := rec.Percentile(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 %d < p50 %d", p99, p50)
+	}
+	if p99 > h.Max {
+		t.Errorf("p99 %d above max %d", p99, h.Max)
+	}
+	if _, err := rec.Percentile(0); err == nil {
+		t.Error("percentile 0 accepted")
+	}
+	if _, err := (&Recorder{}).Percentile(50); err == nil {
+		t.Error("empty recorder percentile accepted")
+	}
+	if _, err := rec.NewHistogram(0); err == nil {
+		t.Error("zero bin width accepted")
+	}
+}
+
+func TestByClass(t *testing.T) {
+	rec := runTraced(t, 0, 40)
+	by := rec.ByClass()
+	if len(by[noc.Request])+len(by[noc.Reply]) != 40 {
+		t.Error("class split loses records")
+	}
+	if len(by[noc.Request]) == 0 || len(by[noc.Reply]) == 0 {
+		t.Error("expected both classes")
+	}
+}

@@ -1,0 +1,325 @@
+// Package traffic provides classic synthetic traffic patterns and the
+// open-loop load–latency methodology used to characterize NoCs
+// independently of the full system: uniform random, transpose, hotspot,
+// and the paper's many-to-few / few-to-many (M2F2M) patterns, plus a sweep
+// harness that measures average latency versus offered load and locates
+// the saturation point.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"equinox/internal/geom"
+	"equinox/internal/noc"
+)
+
+// Pattern generates source/destination pairs for synthetic traffic.
+type Pattern interface {
+	// Name identifies the pattern.
+	Name() string
+	// Pair draws the next (src, dst, type) triple.
+	Pair(rng *rand.Rand) (src, dst int, typ noc.PacketType)
+	// Sources returns the set of injecting nodes (offered load is split
+	// evenly across them).
+	Sources() []int
+}
+
+// Uniform is uniform random traffic among all nodes.
+type Uniform struct {
+	W, H int
+	Typ  noc.PacketType
+}
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// Pair implements Pattern.
+func (u Uniform) Pair(rng *rand.Rand) (int, int, noc.PacketType) {
+	n := u.W * u.H
+	src := rng.Intn(n)
+	dst := rng.Intn(n)
+	for dst == src {
+		dst = rng.Intn(n)
+	}
+	return src, dst, u.Typ
+}
+
+// Sources implements Pattern.
+func (u Uniform) Sources() []int {
+	out := make([]int, u.W*u.H)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Transpose sends from (x,y) to (y,x), a classic adversarial pattern for
+// dimension-ordered routing.
+type Transpose struct {
+	W, H int
+	Typ  noc.PacketType
+}
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// Pair implements Pattern.
+func (t Transpose) Pair(rng *rand.Rand) (int, int, noc.PacketType) {
+	for {
+		src := rng.Intn(t.W * t.H)
+		p := geom.FromID(src, t.W)
+		if p.Y >= t.W || p.X >= t.H {
+			continue
+		}
+		dst := geom.Pt(p.Y, p.X).ID(t.W)
+		if dst == src {
+			continue
+		}
+		return src, dst, t.Typ
+	}
+}
+
+// Sources implements Pattern.
+func (t Transpose) Sources() []int {
+	var out []int
+	for i := 0; i < t.W*t.H; i++ {
+		p := geom.FromID(i, t.W)
+		if p.Y < t.W && p.X < t.H && geom.Pt(p.Y, p.X).ID(t.W) != i {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Hotspot sends a fraction of uniform traffic to a single hot node.
+type Hotspot struct {
+	W, H    int
+	Hot     int
+	HotFrac float64
+	Typ     noc.PacketType
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return "hotspot" }
+
+// Pair implements Pattern.
+func (h Hotspot) Pair(rng *rand.Rand) (int, int, noc.PacketType) {
+	n := h.W * h.H
+	src := rng.Intn(n)
+	for src == h.Hot {
+		src = rng.Intn(n)
+	}
+	dst := h.Hot
+	if rng.Float64() >= h.HotFrac {
+		dst = rng.Intn(n)
+		for dst == src {
+			dst = rng.Intn(n)
+		}
+	}
+	return src, dst, h.Typ
+}
+
+// Sources implements Pattern.
+func (h Hotspot) Sources() []int {
+	var out []int
+	for i := 0; i < h.W*h.H; i++ {
+		if i != h.Hot {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FewToMany is the reply-side pattern of the paper: the few CB nodes send
+// (read replies) to the many PE nodes.
+type FewToMany struct {
+	W, H int
+	CBs  []geom.Point
+	Typ  noc.PacketType
+}
+
+// Name implements Pattern.
+func (f FewToMany) Name() string { return "few-to-many" }
+
+// Pair implements Pattern.
+func (f FewToMany) Pair(rng *rand.Rand) (int, int, noc.PacketType) {
+	isCB := map[int]bool{}
+	for _, cb := range f.CBs {
+		isCB[cb.ID(f.W)] = true
+	}
+	src := f.CBs[rng.Intn(len(f.CBs))].ID(f.W)
+	for {
+		dst := rng.Intn(f.W * f.H)
+		if !isCB[dst] {
+			return src, dst, f.Typ
+		}
+	}
+}
+
+// Sources implements Pattern.
+func (f FewToMany) Sources() []int {
+	out := make([]int, len(f.CBs))
+	for i, cb := range f.CBs {
+		out[i] = cb.ID(f.W)
+	}
+	return out
+}
+
+// ManyToFew is the request-side pattern: every PE sends (read requests) to
+// a random CB.
+type ManyToFew struct {
+	W, H int
+	CBs  []geom.Point
+	Typ  noc.PacketType
+}
+
+// Name implements Pattern.
+func (m ManyToFew) Name() string { return "many-to-few" }
+
+// Pair implements Pattern.
+func (m ManyToFew) Pair(rng *rand.Rand) (int, int, noc.PacketType) {
+	isCB := map[int]bool{}
+	for _, cb := range m.CBs {
+		isCB[cb.ID(m.W)] = true
+	}
+	for {
+		src := rng.Intn(m.W * m.H)
+		if isCB[src] {
+			continue
+		}
+		dst := m.CBs[rng.Intn(len(m.CBs))].ID(m.W)
+		return src, dst, m.Typ
+	}
+}
+
+// Sources implements Pattern.
+func (m ManyToFew) Sources() []int {
+	isCB := map[int]bool{}
+	for _, cb := range m.CBs {
+		isCB[cb.ID(m.W)] = true
+	}
+	var out []int
+	for i := 0; i < m.W*m.H; i++ {
+		if !isCB[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Point is one measurement of the load–latency curve.
+type Point struct {
+	// OfferedLoad is in flits per node per cycle across source nodes.
+	OfferedLoad float64
+	// AcceptedLoad is the delivered throughput in the same unit.
+	AcceptedLoad float64
+	// AvgLatencyCycles is the mean end-to-end packet latency.
+	AvgLatencyCycles float64
+	// Saturated marks points where the network could not accept the
+	// offered load (accepted < 90% of offered).
+	Saturated bool
+}
+
+// SweepConfig configures a load–latency sweep.
+type SweepConfig struct {
+	Net        func() (*noc.Network, error) // fresh network per point
+	Pattern    Pattern
+	Loads      []float64 // offered flit/node/cycle points
+	WarmCycles int
+	RunCycles  int
+	Seed       int64
+}
+
+// Sweep measures the load–latency curve. Injection is open-loop: each
+// source node offers packets at the configured flit rate via a Bernoulli
+// process; NI-full events are counted against accepted throughput.
+func Sweep(cfg SweepConfig) ([]Point, error) {
+	if cfg.Pattern == nil || cfg.Net == nil {
+		return nil, fmt.Errorf("traffic: nil network factory or pattern")
+	}
+	if cfg.RunCycles <= 0 {
+		return nil, fmt.Errorf("traffic: RunCycles must be positive")
+	}
+	var out []Point
+	srcs := cfg.Pattern.Sources()
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("traffic: pattern has no sources")
+	}
+	for _, load := range cfg.Loads {
+		n, err := cfg.Net()
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		flitsPerPkt := float64(noc.SizeInFlits(probeType(cfg.Pattern), n.Cfg.FlitBytes, n.Cfg.LineBytes))
+		pktProb := load / flitsPerPkt // per source per cycle
+		total := cfg.WarmCycles + cfg.RunCycles
+		var offered, acceptedFlits, deliveredFlits int64
+		var latSum float64
+		var latN int64
+		startMeasure := int64(cfg.WarmCycles)
+		for cyc := 0; cyc < total; cyc++ {
+			measuring := n.Now() >= startMeasure
+			for range srcs {
+				if rng.Float64() >= pktProb {
+					continue
+				}
+				src, dst, typ := cfg.Pattern.Pair(rng)
+				p := &noc.Packet{Type: typ, Src: src, Dst: dst}
+				if measuring {
+					offered += int64(noc.SizeInFlits(typ, n.Cfg.FlitBytes, n.Cfg.LineBytes))
+				}
+				if n.TryInject(p, n.Now()) && measuring {
+					acceptedFlits += int64(p.Flits)
+				}
+			}
+			for node := 0; node < n.Cfg.Nodes(); node++ {
+				for {
+					p := n.PopDelivered(node)
+					if p == nil {
+						break
+					}
+					if p.CreatedAt >= startMeasure {
+						latSum += float64(p.TotalLatency())
+						latN++
+						deliveredFlits += int64(p.Flits)
+					}
+				}
+			}
+			n.Step()
+		}
+		pt := Point{OfferedLoad: load}
+		denom := float64(len(srcs) * cfg.RunCycles)
+		pt.AcceptedLoad = float64(deliveredFlits) / denom
+		if latN > 0 {
+			pt.AvgLatencyCycles = latSum / float64(latN)
+		}
+		if offered > 0 && float64(acceptedFlits) < 0.9*float64(offered) {
+			pt.Saturated = true
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// probeType asks the pattern for a representative packet type.
+func probeType(p Pattern) noc.PacketType {
+	rng := rand.New(rand.NewSource(0))
+	_, _, typ := p.Pair(rng)
+	return typ
+}
+
+// SaturationLoad returns the lowest offered load at which the sweep
+// saturated, or the highest measured load when it never did.
+func SaturationLoad(points []Point) float64 {
+	for _, p := range points {
+		if p.Saturated {
+			return p.OfferedLoad
+		}
+	}
+	if len(points) == 0 {
+		return 0
+	}
+	return points[len(points)-1].OfferedLoad
+}

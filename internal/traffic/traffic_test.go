@@ -1,0 +1,242 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"equinox/internal/geom"
+	"equinox/internal/noc"
+	"equinox/internal/placement"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestUniformPairs(t *testing.T) {
+	u := Uniform{W: 4, H: 4, Typ: noc.ReadReply}
+	r := rng()
+	for i := 0; i < 200; i++ {
+		src, dst, typ := u.Pair(r)
+		if src == dst {
+			t.Fatal("self pair")
+		}
+		if src < 0 || src >= 16 || dst < 0 || dst >= 16 {
+			t.Fatal("out of range")
+		}
+		if typ != noc.ReadReply {
+			t.Fatal("wrong type")
+		}
+	}
+	if len(u.Sources()) != 16 {
+		t.Error("uniform sources")
+	}
+}
+
+func TestTransposePairs(t *testing.T) {
+	tr := Transpose{W: 4, H: 4, Typ: noc.ReadRequest}
+	r := rng()
+	for i := 0; i < 100; i++ {
+		src, dst, _ := tr.Pair(r)
+		p := geom.FromID(src, 4)
+		q := geom.FromID(dst, 4)
+		if p.X != q.Y || p.Y != q.X {
+			t.Fatalf("not a transpose: %v -> %v", p, q)
+		}
+	}
+	// Diagonal nodes map to themselves and are excluded from sources.
+	for _, s := range tr.Sources() {
+		p := geom.FromID(s, 4)
+		if p.X == p.Y {
+			t.Fatalf("diagonal node %v among sources", p)
+		}
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	h := Hotspot{W: 4, H: 4, Hot: 5, HotFrac: 0.8, Typ: noc.ReadRequest}
+	r := rng()
+	hot := 0
+	for i := 0; i < 2000; i++ {
+		src, dst, _ := h.Pair(r)
+		if src == h.Hot {
+			t.Fatal("hot node injecting")
+		}
+		if dst == h.Hot {
+			hot++
+		}
+	}
+	if hot < 1500 || hot > 1900 {
+		t.Errorf("hot fraction %d/2000 far from 0.8", hot)
+	}
+}
+
+func TestM2FAndF2M(t *testing.T) {
+	pl, err := placement.New(placement.NQueen, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isCB := map[int]bool{}
+	for _, cb := range pl.CBs {
+		isCB[cb.ID(8)] = true
+	}
+	f2m := FewToMany{W: 8, H: 8, CBs: pl.CBs, Typ: noc.ReadReply}
+	m2f := ManyToFew{W: 8, H: 8, CBs: pl.CBs, Typ: noc.ReadRequest}
+	r := rng()
+	for i := 0; i < 500; i++ {
+		src, dst, _ := f2m.Pair(r)
+		if !isCB[src] || isCB[dst] {
+			t.Fatal("few-to-many pair wrong")
+		}
+		src, dst, _ = m2f.Pair(r)
+		if isCB[src] || !isCB[dst] {
+			t.Fatal("many-to-few pair wrong")
+		}
+	}
+	if len(f2m.Sources()) != 8 || len(m2f.Sources()) != 56 {
+		t.Error("source sets wrong")
+	}
+}
+
+func mkNet(w, h int) func() (*noc.Network, error) {
+	return func() (*noc.Network, error) {
+		return noc.New(noc.DefaultConfig("sweep", w, h))
+	}
+}
+
+func TestSweepLatencyRisesWithLoad(t *testing.T) {
+	pts, err := Sweep(SweepConfig{
+		Net:        mkNet(4, 4),
+		Pattern:    Uniform{W: 4, H: 4, Typ: noc.ReadRequest},
+		Loads:      []float64{0.02, 0.10, 0.30},
+		WarmCycles: 300,
+		RunCycles:  1200,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].AvgLatencyCycles <= 0 {
+		t.Fatal("no latency at low load")
+	}
+	if pts[2].AvgLatencyCycles <= pts[0].AvgLatencyCycles {
+		t.Errorf("latency did not rise with load: %.1f → %.1f",
+			pts[0].AvgLatencyCycles, pts[2].AvgLatencyCycles)
+	}
+	if pts[0].AcceptedLoad <= 0 {
+		t.Error("no accepted load")
+	}
+	// At very low load, accepted ≈ offered.
+	if pts[0].Saturated {
+		t.Error("saturated at 2% load")
+	}
+}
+
+func TestSweepFindsSaturation(t *testing.T) {
+	pts, err := Sweep(SweepConfig{
+		Net:        mkNet(4, 4),
+		Pattern:    Uniform{W: 4, H: 4, Typ: noc.ReadReply},
+		Loads:      []float64{0.05, 2.0}, // 2 flits/node/cycle is unservable
+		WarmCycles: 200,
+		RunCycles:  800,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].AcceptedLoad >= pts[1].OfferedLoad {
+		t.Error("accepted ≥ offered at unservable load")
+	}
+	if !pts[1].Saturated {
+		t.Error("unservable load not flagged saturated")
+	}
+	if SaturationLoad(pts) != 2.0 {
+		t.Errorf("saturation load %f", SaturationLoad(pts))
+	}
+}
+
+func TestFewToManySaturatesBeforeUniform(t *testing.T) {
+	// The paper's premise at pure-NoC level: with only 8 injectors, the
+	// few-to-many pattern saturates at a far lower per-source... actually
+	// per-source capacity is the same; system throughput is limited by the
+	// eight sources. Verify the F2M accepted throughput ceiling per source
+	// is bounded by ~1 flit/cycle while uniform's aggregate scales.
+	pl, _ := placement.New(placement.NQueen, 8, 8, 8)
+	pts, err := Sweep(SweepConfig{
+		Net:        mkNet(8, 8),
+		Pattern:    FewToMany{W: 8, H: 8, CBs: pl.CBs, Typ: noc.ReadReply},
+		Loads:      []float64{1.5},
+		WarmCycles: 300,
+		RunCycles:  1500,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].AcceptedLoad > 1.1 {
+		t.Errorf("per-CB accepted %f exceeds single-port limit", pts[0].AcceptedLoad)
+	}
+	if !pts[0].Saturated {
+		t.Error("few-to-many at 1.5 flits/src/cycle should saturate one port")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := Sweep(SweepConfig{}); err == nil {
+		t.Error("nil config accepted")
+	}
+	if _, err := Sweep(SweepConfig{
+		Net: mkNet(4, 4), Pattern: Uniform{W: 4, H: 4}, RunCycles: 0,
+	}); err == nil {
+		t.Error("zero cycles accepted")
+	}
+}
+
+// TestEquiNoxRaisesSaturationLoad is the paper's core claim at pure-NoC
+// level: with EIRs, the few-to-many pattern sustains a higher injection
+// rate before saturating than with single injection ports.
+func TestEquiNoxRaisesSaturationLoad(t *testing.T) {
+	pl, err := placement.New(placement.NQueen, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[geom.Point][]geom.Point{}
+	for _, cb := range pl.CBs {
+		var g []geom.Point
+		for _, d := range []geom.Direction{geom.East, geom.West, geom.South, geom.North} {
+			e := cb.Add(geom.Pt(d.Delta().X*2, d.Delta().Y*2))
+			if e.In(8, 8) && !pl.Contains(e) {
+				g = append(g, e)
+			}
+		}
+		groups[cb] = g
+	}
+	run := func(eir bool) []Point {
+		pts, err := Sweep(SweepConfig{
+			Net: func() (*noc.Network, error) {
+				cfg := noc.DefaultConfig("sat", 8, 8)
+				cfg.CBs = pl.CBs
+				if eir {
+					cfg.EIRGroups = groups
+				}
+				return noc.New(cfg)
+			},
+			Pattern:    FewToMany{W: 8, H: 8, CBs: pl.CBs, Typ: noc.ReadReply},
+			Loads:      []float64{1.5},
+			WarmCycles: 300,
+			RunCycles:  1500,
+			Seed:       7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	base := run(false)
+	equi := run(true)
+	if equi[0].AcceptedLoad < 1.5*base[0].AcceptedLoad {
+		t.Errorf("EquiNox accepted %.3f not ≫ baseline %.3f flits/CB/cycle",
+			equi[0].AcceptedLoad, base[0].AcceptedLoad)
+	}
+}

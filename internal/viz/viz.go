@@ -1,0 +1,162 @@
+// Package viz renders EquiNox designs and measurement data as SVG using
+// only the standard library: floor plans with CBs, EIR groups, and
+// interposer links (the paper's Figure 7), and per-router heat maps
+// (Figure 4).
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"equinox/internal/core"
+	"equinox/internal/geom"
+	"equinox/internal/stats"
+)
+
+const tile = 48 // SVG pixels per mesh tile
+
+// groupPalette colours EIR groups like the paper's Figure 7.
+var groupPalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+	"#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+	"#bab0ac", "#d37295", "#86bcb6", "#fabfd2",
+}
+
+type svg struct {
+	b    strings.Builder
+	w, h int
+}
+
+func newSVG(w, h int) *svg {
+	s := &svg{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&s.b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", w, h)
+	return s
+}
+
+func (s *svg) rect(x, y, w, h int, fill, stroke string) {
+	fmt.Fprintf(&s.b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="%s"/>`+"\n",
+		x, y, w, h, fill, stroke)
+}
+
+func (s *svg) line(x1, y1, x2, y2 int, stroke string, width int) {
+	fmt.Fprintf(&s.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="%d"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (s *svg) text(x, y int, size int, fill, anchor, str string) {
+	fmt.Fprintf(&s.b, `<text x="%d" y="%d" font-size="%d" fill="%s" text-anchor="%s" font-family="monospace">%s</text>`+"\n",
+		x, y, size, fill, anchor, str)
+}
+
+func (s *svg) done() string {
+	s.b.WriteString("</svg>\n")
+	return s.b.String()
+}
+
+func center(p geom.Point) (int, int) {
+	return p.X*tile + tile/2, p.Y*tile + tile/2
+}
+
+// DesignSVG renders a design's floor plan: grey PE tiles, black CB tiles,
+// group-coloured EIR tiles, and the interposer links as coloured lines —
+// the repository's Figure 7.
+func DesignSVG(d *core.Design) string {
+	s := newSVG(d.Width*tile, d.Height*tile+20)
+	// Tiles.
+	for y := 0; y < d.Height; y++ {
+		for x := 0; x < d.Width; x++ {
+			s.rect(x*tile+1, y*tile+1, tile-2, tile-2, "#f2f2f2", "#cccccc")
+		}
+	}
+	// EIR groups and links.
+	for i, cb := range d.CBs {
+		col := groupPalette[i%len(groupPalette)]
+		for _, e := range d.Groups[cb] {
+			s.rect(e.X*tile+1, e.Y*tile+1, tile-2, tile-2, col, "#666666")
+			x1, y1 := center(cb)
+			x2, y2 := center(e)
+			s.line(x1, y1, x2, y2, col, 3)
+			ex, ey := center(e)
+			s.text(ex, ey+4, 12, "#ffffff", "middle", fmt.Sprintf("E%d", i))
+		}
+	}
+	// CBs on top of links.
+	for i, cb := range d.CBs {
+		s.rect(cb.X*tile+1, cb.Y*tile+1, tile-2, tile-2, "#222222", "#000000")
+		cx, cy := center(cb)
+		s.text(cx, cy+4, 12, "#ffffff", "middle", fmt.Sprintf("CB%d", i))
+	}
+	rep := d.Summarize()
+	s.text(4, d.Height*tile+14, 12, "#333333", "start",
+		fmt.Sprintf("%d EIRs, %d links, %d crossings, %d µbumps",
+			rep.EIRs, rep.Links, rep.Crossings, rep.Bumps))
+	return s.done()
+}
+
+// heatColour maps v/max to a white→red ramp.
+func heatColour(v, max float64) string {
+	if max <= 0 {
+		return "#ffffff"
+	}
+	t := v / max
+	if t > 1 {
+		t = 1
+	}
+	rch := 255
+	gb := int(255 * (1 - t))
+	return fmt.Sprintf("#%02x%02x%02x", rch, gb, gb)
+}
+
+// HeatmapSVG renders one Figure 4 heat map.
+func HeatmapSVG(r stats.HeatResult) string {
+	s := newSVG(r.Width*tile, r.Height*tile+20)
+	max := 0.0
+	for _, v := range r.Heat {
+		if v > max {
+			max = v
+		}
+	}
+	for y := 0; y < r.Height; y++ {
+		for x := 0; x < r.Width; x++ {
+			v := r.Heat[geom.Pt(x, y).ID(r.Width)]
+			s.rect(x*tile+1, y*tile+1, tile-2, tile-2, heatColour(v, max), "#999999")
+			cx, cy := center(geom.Pt(x, y))
+			s.text(cx, cy+4, 10, "#333333", "middle", fmt.Sprintf("%.1f", v))
+		}
+	}
+	s.text(4, r.Height*tile+14, 12, "#333333", "start",
+		fmt.Sprintf("%s placement, variance %.2f", r.Kind, r.Variance))
+	return s.done()
+}
+
+// HeatmapsSVG lays several heat maps out side by side (the full Figure 4).
+func HeatmapsSVG(rs []stats.HeatResult) string {
+	if len(rs) == 0 {
+		return newSVG(1, 1).done()
+	}
+	w := rs[0].Width*tile + 20
+	s := newSVG(w*len(rs), rs[0].Height*tile+40)
+	for i, r := range rs {
+		inner := HeatmapSVG(r)
+		// Embed via nested <svg> with an x offset.
+		body := strings.TrimPrefix(inner, svgHeaderOf(inner))
+		body = strings.TrimSuffix(body, "</svg>\n")
+		fmt.Fprintf(&s.b, `<svg x="%d" y="10">%s</svg>`+"\n", i*w, body)
+	}
+	return s.done()
+}
+
+// svgHeaderOf returns the first line (the <svg …> opener plus background).
+func svgHeaderOf(s string) string {
+	idx := strings.Index(s, "\n")
+	if idx < 0 {
+		return s
+	}
+	// Header is the opening tag and the background rect (two lines).
+	j := strings.Index(s[idx+1:], "\n")
+	if j < 0 {
+		return s[:idx+1]
+	}
+	return s[:idx+1+j+1]
+}

@@ -1,0 +1,73 @@
+package equinox
+
+import (
+	"fmt"
+
+	"equinox/internal/sim"
+	"equinox/internal/stats"
+)
+
+// ScalabilityPoint is one mesh size of the Figure 12 study.
+type ScalabilityPoint struct {
+	Side        int
+	BaseIPC     float64 // SeparateBase mean IPC
+	EquiNoxIPC  float64
+	Improvement float64 // EquiNoxIPC / BaseIPC
+}
+
+// ScalabilityStudy reproduces Figure 12: for each mesh side, run the same
+// design flow (N-Queen + EIR selection), then compare EquiNox's mean IPC
+// against SeparateBase over the given benchmarks. The paper reports the
+// improvement growing with network size (1.23× → 1.31× → 1.30×).
+func ScalabilityStudy(sides []int, benches []string, instrPerPE int, seed int64) ([]ScalabilityPoint, error) {
+	if len(sides) == 0 || len(benches) == 0 {
+		return nil, fmt.Errorf("equinox: empty scalability study")
+	}
+	var out []ScalabilityPoint
+	for _, side := range sides {
+		design, err := DesignForMesh(side, side, 8)
+		if err != nil {
+			return nil, fmt.Errorf("design %dx%d: %w", side, side, err)
+		}
+		ipc := map[sim.SchemeKind]float64{}
+		for _, scheme := range []sim.SchemeKind{sim.SeparateBase, sim.EquiNox} {
+			var vals []float64
+			for _, b := range benches {
+				res, err := RunBenchmark(RunConfig{
+					Scheme: scheme, Benchmark: b,
+					Width: side, Height: side, NumCBs: 8,
+					Design: design, InstructionsPerPE: instrPerPE, Seed: seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%dx%d %v/%s: %w", side, side, scheme, b, err)
+				}
+				vals = append(vals, res.IPC)
+			}
+			ipc[scheme] = stats.Mean(vals)
+		}
+		out = append(out, ScalabilityPoint{
+			Side:        side,
+			BaseIPC:     ipc[sim.SeparateBase],
+			EquiNoxIPC:  ipc[sim.EquiNox],
+			Improvement: ipc[sim.EquiNox] / ipc[sim.SeparateBase],
+		})
+	}
+	return out, nil
+}
+
+// Figure12 renders the study as a Table.
+func Figure12(points []ScalabilityPoint) Table {
+	t := Table{
+		Title:  "Figure 12: Scalability (mean IPC improvement of EquiNox over SeparateBase)",
+		Header: []string{"mesh", "SeparateBase IPC", "EquiNox IPC", "improvement"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx%d", p.Side, p.Side),
+			fmt.Sprintf("%.2f", p.BaseIPC),
+			fmt.Sprintf("%.2f", p.EquiNoxIPC),
+			fmt.Sprintf("%.2fx", p.Improvement),
+		})
+	}
+	return t
+}

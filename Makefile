@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench eval heatmap design cover clean
+.PHONY: all build vet test race bench eval serve heatmap design cover clean
 
 all: build vet test
 
@@ -15,6 +15,10 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detector pass (the evaluation server's worker pool in particular).
+race:
+	$(GO) test -race ./...
+
 # Full benchmark harness: one benchmark per paper table/figure.
 bench:
 	$(GO) test -bench=. -benchmem
@@ -22,6 +26,10 @@ bench:
 # Regenerate the paper's evaluation (Figures 9/10/11, Table 1, §6.6).
 eval:
 	$(GO) run ./cmd/equinox-eval
+
+# Evaluation-as-a-service: HTTP job server with result caching.
+serve:
+	$(GO) run ./cmd/equinox-server
 
 # Figure 4 heat maps and the placement scoring table.
 heatmap:

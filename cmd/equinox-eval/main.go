@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"equinox"
 	"equinox/internal/sim"
@@ -75,8 +78,13 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels the sweep at the next simulator cancellation check
+	// instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	log.Printf("running %d schemes × %d benchmarks …", len(sim.AllSchemes()), lenOr(cfg.Benchmarks, 29))
-	ev, err := equinox.RunEvaluation(cfg)
+	ev, err := equinox.RunEvaluationContext(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,77 @@
+// Command equinox-server runs the evaluation-as-a-service HTTP server: it
+// accepts JSON sweep submissions, executes them on a bounded worker pool,
+// and answers repeated design-space queries from a content-addressed result
+// cache.
+//
+// Usage:
+//
+//	equinox-server -addr :8080 -workers 2
+//
+//	curl -s localhost:8080/v1/jobs -d '{"benchmarks":["kmeans"],"schemes":["EquiNox","SeparateBase"]}'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s -X DELETE localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/v1/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight jobs
+// (bounded by -drain).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"equinox/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("equinox-server: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent evaluations (0 = default)")
+		jobPar  = flag.Int("job-parallelism", 0, "per-evaluation simulation parallelism (0 = auto)")
+		cache   = flag.Int("cache", 0, "result cache entries (0 = default)")
+		queue   = flag.Int("queue", 0, "submission queue depth (0 = default)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		JobParallelism: *jobPar,
+		CacheEntries:   *cache,
+		QueueDepth:     *queue,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining in-flight jobs (up to %v) …", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain incomplete, in-flight jobs cancelled: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-
-	"equinox/internal/sim"
 )
 
 // evalConfigJSON is the serialized shape of EvalConfig (scheme names as
@@ -62,26 +60,14 @@ func LoadEvalConfig(r io.Reader) (EvalConfig, error) {
 		cfg.Width, cfg.Height, cfg.NumCBs = 8, 8, 8
 	}
 	for _, name := range in.Schemes {
-		found := false
-		for _, s := range sim.AllSchemes() {
-			if s.String() == name {
-				cfg.Schemes = append(cfg.Schemes, s)
-				found = true
-				break
-			}
-		}
-		if !found {
+		s, err := ParseScheme(name)
+		if err != nil {
 			return EvalConfig{}, fmt.Errorf("equinox: config: unknown scheme %q", name)
 		}
+		cfg.Schemes = append(cfg.Schemes, s)
 	}
-	known := map[string]bool{}
-	for _, b := range Benchmarks() {
-		known[b] = true
-	}
-	for _, b := range cfg.Benchmarks {
-		if !known[b] {
-			return EvalConfig{}, fmt.Errorf("equinox: config: unknown benchmark %q", b)
-		}
+	if err := cfg.Normalize().Validate(); err != nil {
+		return EvalConfig{}, err
 	}
 	return cfg, nil
 }

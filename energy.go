@@ -20,7 +20,11 @@ func (ev *Evaluation) EnergyBreakdownTable() Table {
 	for _, s := range ev.Schemes {
 		var sum [7]float64
 		for _, b := range ev.Benches {
-			e := ev.Results[s][b].Energy
+			r, ok := ev.Result(s, b)
+			if !ok {
+				continue
+			}
+			e := r.Energy
 			sum[0] += e.BufferPJ
 			sum[1] += e.XbarPJ
 			sum[2] += e.ArbPJ
@@ -46,7 +50,11 @@ func (ev *Evaluation) LeakageShare() map[sim.SchemeKind]float64 {
 	for _, s := range ev.Schemes {
 		var leak, total float64
 		for _, b := range ev.Benches {
-			e := ev.Results[s][b].Energy
+			r, ok := ev.Result(s, b)
+			if !ok {
+				continue
+			}
+			e := r.Energy
 			leak += e.LeakagePJ
 			total += e.TotalPJ()
 		}

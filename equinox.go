@@ -19,7 +19,7 @@
 package equinox
 
 import (
-	"fmt"
+	"context"
 
 	"equinox/internal/core"
 	"equinox/internal/sim"
@@ -56,6 +56,15 @@ type RunConfig struct {
 // RunBenchmark simulates one scheme on one benchmark and returns the full
 // measurement set (execution time, latency breakdown, energy, area).
 func RunBenchmark(rc RunConfig) (sim.Result, error) {
+	return RunBenchmarkContext(context.Background(), rc)
+}
+
+// RunBenchmarkContext is RunBenchmark with cancellation: the simulation's
+// cycle loop polls ctx and returns ctx.Err() when it is cancelled.
+func RunBenchmarkContext(ctx context.Context, rc RunConfig) (sim.Result, error) {
+	if err := rc.Validate(); err != nil {
+		return sim.Result{}, err
+	}
 	prof, err := workloads.ByName(rc.Benchmark)
 	if err != nil {
 		return sim.Result{}, err
@@ -77,13 +86,10 @@ func RunBenchmark(rc RunConfig) (sim.Result, error) {
 		cfg.Seed = rc.Seed
 	}
 	if rc.Scheme == sim.EquiNox {
-		if rc.Design == nil {
-			return sim.Result{}, fmt.Errorf("equinox: EquiNox runs need a Design (see equinox.Design)")
-		}
 		cfg.CBOverride = rc.Design.CBs
 		cfg.EIRGroups = rc.Design.Groups
 	}
-	return sim.Run(cfg, prof)
+	return sim.RunContext(ctx, cfg, prof)
 }
 
 // Benchmarks returns the 29 benchmark names of the evaluation suite.

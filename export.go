@@ -138,7 +138,10 @@ func (ev *Evaluation) WriteJSON(w io.Writer) error {
 	}
 	for _, s := range ev.Schemes {
 		for _, b := range ev.Benches {
-			out.Runs = append(out.Runs, exportRun(ev.Results[s][b]))
+			// Failed runs have no entry; they are reported via Errors.
+			if r, ok := ev.Result(s, b); ok {
+				out.Runs = append(out.Runs, exportRun(r))
+			}
 		}
 	}
 	sort.Slice(out.Runs, func(i, j int) bool {

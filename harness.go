@@ -1,7 +1,10 @@
 package equinox
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -25,6 +28,12 @@ type EvalConfig struct {
 	// Design is the EquiNox design to evaluate; nil builds one with the
 	// fast greedy search.
 	Design *core.Design
+
+	// Progress, when non-nil, is called after each (scheme, benchmark) run
+	// finishes with the number of completed runs and the sweep total. Calls
+	// are serialized; the callback must not block for long. It is not part
+	// of the serialized configuration.
+	Progress func(done, total int) `json:"-"`
 }
 
 // DefaultEvalConfig returns the paper's main 8×8 sweep.
@@ -46,17 +55,22 @@ type Evaluation struct {
 
 // RunEvaluation executes the sweep, parallelizing independent simulations.
 func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
-	if cfg.Width == 0 {
-		cfg.Width, cfg.Height, cfg.NumCBs = 8, 8, 8
+	return RunEvaluationContext(context.Background(), cfg)
+}
+
+// RunEvaluationContext executes the sweep under ctx: when the context is
+// cancelled, in-flight simulations stop at their next cancellation check,
+// queued runs are abandoned, and the partial evaluation is returned
+// alongside ctx.Err(). Failed runs (timeouts, bad configs) are recorded in
+// Evaluation.Errors and their entries left absent, so summary geomeans are
+// computed over the runs that succeeded rather than polluted by zeros.
+func RunEvaluationContext(ctx context.Context, cfg EvalConfig) (*Evaluation, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	schemes := cfg.Schemes
-	if schemes == nil {
-		schemes = sim.AllSchemes()
-	}
 	benches := cfg.Benchmarks
-	if benches == nil {
-		benches = Benchmarks()
-	}
 	design := cfg.Design
 	needEquiNox := false
 	for _, s := range schemes {
@@ -98,18 +112,25 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 		par = runtime.GOMAXPROCS(0)
 	}
 	var (
-		mu sync.Mutex
-		wg sync.WaitGroup
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		done int
 	)
 	sem := make(chan struct{}, par)
+	total := len(jobs)
+dispatch:
 	for _, j := range jobs {
 		j := j
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := RunBenchmark(RunConfig{
+			res, err := RunBenchmarkContext(ctx, RunConfig{
 				Scheme:            j.scheme,
 				Benchmark:         j.bench,
 				Width:             cfg.Width,
@@ -121,30 +142,56 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 			})
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil {
+			done++
+			switch {
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				// Cancellation is reported once via the returned error, not
+				// per run.
+			case err != nil:
 				ev.Errors = append(ev.Errors, fmt.Errorf("%v/%s: %w", j.scheme, j.bench, err))
+			default:
+				ev.Results[j.scheme][j.bench] = res
 			}
-			ev.Results[j.scheme][j.bench] = res
+			if cfg.Progress != nil {
+				cfg.Progress(done, total)
+			}
 		}()
 	}
 	wg.Wait()
 	sort.Slice(ev.Errors, func(i, k int) bool { return ev.Errors[i].Error() < ev.Errors[k].Error() })
+	if err := ctx.Err(); err != nil {
+		return ev, err
+	}
 	return ev, nil
 }
 
 // metric extracts one scalar per run.
 type metric func(sim.Result) float64
 
+// Result returns the measurement for one (scheme, benchmark) cell and
+// whether the run completed — failed runs leave their cell absent.
+func (ev *Evaluation) Result(s sim.SchemeKind, b string) (sim.Result, bool) {
+	r, ok := ev.Results[s][b]
+	return r, ok
+}
+
 // normalizedPerBenchmark returns values[scheme][benchIdx] = m(scheme,bench)
-// normalized to the base scheme on the same benchmark.
+// normalized to the base scheme on the same benchmark. Benchmarks where
+// either the scheme's or the base's run is missing (failed) are NaN; the
+// aggregation and rendering layers skip them.
 func (ev *Evaluation) normalizedPerBenchmark(m metric, base sim.SchemeKind) map[sim.SchemeKind][]float64 {
 	out := map[sim.SchemeKind][]float64{}
 	for _, s := range ev.Schemes {
 		vals := make([]float64, len(ev.Benches))
 		for i, b := range ev.Benches {
-			bv := m(ev.Results[base][b])
-			if bv != 0 {
-				vals[i] = m(ev.Results[s][b]) / bv
+			br, bok := ev.Result(base, b)
+			sr, sok := ev.Result(s, b)
+			if !bok || !sok {
+				vals[i] = math.NaN()
+				continue
+			}
+			if bv := m(br); bv != 0 {
+				vals[i] = m(sr) / bv
 			}
 		}
 		out[s] = vals
@@ -153,12 +200,19 @@ func (ev *Evaluation) normalizedPerBenchmark(m metric, base sim.SchemeKind) map[
 }
 
 // GeoMeanNormalized returns the geometric-mean of a metric across the suite,
-// normalized to the base scheme (the "AVG" bar of Figure 9).
+// normalized to the base scheme (the "AVG" bar of Figure 9). Benchmarks
+// whose runs failed are excluded from the mean.
 func (ev *Evaluation) GeoMeanNormalized(m metric, base sim.SchemeKind) map[sim.SchemeKind]float64 {
 	per := ev.normalizedPerBenchmark(m, base)
 	out := map[sim.SchemeKind]float64{}
 	for s, vals := range per {
-		out[s] = stats.GeoMean(vals)
+		var present []float64
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				present = append(present, v)
+			}
+		}
+		out[s] = stats.GeoMean(present)
 	}
 	return out
 }
@@ -193,25 +247,31 @@ func (ev *Evaluation) LatencySummary(base sim.SchemeKind) map[sim.SchemeKind]flo
 }
 
 // AreaSummary returns the Figure 11 mean NoC area per scheme in mm².
+// Failed runs are excluded.
 func (ev *Evaluation) AreaSummary() map[sim.SchemeKind]float64 {
 	out := map[sim.SchemeKind]float64{}
 	for _, s := range ev.Schemes {
 		var vals []float64
 		for _, b := range ev.Benches {
-			vals = append(vals, area(ev.Results[s][b]))
+			if r, ok := ev.Result(s, b); ok {
+				vals = append(vals, area(r))
+			}
 		}
 		out[s] = stats.Mean(vals)
 	}
 	return out
 }
 
-// IPCSummary returns mean IPC per scheme (Figure 12's quantity).
+// IPCSummary returns mean IPC per scheme (Figure 12's quantity). Failed
+// runs are excluded.
 func (ev *Evaluation) IPCSummary() map[sim.SchemeKind]float64 {
 	out := map[sim.SchemeKind]float64{}
 	for _, s := range ev.Schemes {
 		var vals []float64
 		for _, b := range ev.Benches {
-			vals = append(vals, ipc(ev.Results[s][b]))
+			if r, ok := ev.Result(s, b); ok {
+				vals = append(vals, ipc(r))
+			}
 		}
 		out[s] = stats.Mean(vals)
 	}
@@ -219,27 +279,39 @@ func (ev *Evaluation) IPCSummary() map[sim.SchemeKind]float64 {
 }
 
 // ReplyBitShare returns the suite-mean reply share of NoC bits (§2.2).
+// Failed runs are excluded.
 func (ev *Evaluation) ReplyBitShare(s sim.SchemeKind) float64 {
 	var vals []float64
 	for _, b := range ev.Benches {
-		vals = append(vals, ev.Results[s][b].ReplyBitShare)
+		if r, ok := ev.Result(s, b); ok {
+			vals = append(vals, r.ReplyBitShare)
+		}
 	}
 	return stats.Mean(vals)
 }
 
 // latencyParts returns the Figure 10 four-part breakdown for a scheme,
 // averaged over the suite, normalized by the base scheme's mean total.
+// Benchmarks missing either the scheme's or the base's run are excluded.
 func (ev *Evaluation) latencyParts(s, base sim.SchemeKind) (reqQ, reqN, repQ, repN float64) {
 	var t float64
+	var n float64
 	for _, b := range ev.Benches {
-		r := ev.Results[s][b]
+		r, ok := ev.Result(s, b)
+		br, bok := ev.Result(base, b)
+		if !ok || !bok {
+			continue
+		}
 		reqQ += r.ReqQueueNS
 		reqN += r.ReqNetNS
 		repQ += r.RepQueueNS
 		repN += r.RepNetNS
-		t += ev.Results[base][b].TotalLatencyNS()
+		t += br.TotalLatencyNS()
+		n++
 	}
-	n := float64(len(ev.Benches))
+	if n == 0 {
+		return
+	}
 	t /= n
 	if t == 0 {
 		return

@@ -1,0 +1,71 @@
+package service
+
+import "container/list"
+
+// Cache is a bounded, thread-compatible LRU mapping content keys to
+// serialized evaluation results. It is content-addressed: keys are the
+// SHA-256 of the canonical job spec (JobSpec.Key), so a hit is by
+// construction the exact result of the requested sweep. The caller
+// serializes access (the server does so under its own mutex).
+type Cache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached result and promotes the entry.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes an entry and returns the keys evicted to stay
+// within capacity, so the owner can drop its own bookkeeping for them.
+func (c *Cache) Put(key string, val []byte) (evicted []string) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return nil
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		k := oldest.Value.(*cacheEntry).key
+		delete(c.items, k)
+		evicted = append(evicted, k)
+	}
+	return evicted
+}
+
+// Remove drops an entry if present.
+func (c *Cache) Remove(key string) {
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int { return c.ll.Len() }

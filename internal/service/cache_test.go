@@ -1,0 +1,50 @@
+package service
+
+import "testing"
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	if ev := c.Put("a", []byte("1")); len(ev) != 0 {
+		t.Fatalf("unexpected eviction %v", ev)
+	}
+	c.Put("b", []byte("2"))
+	// Touch a so b becomes the eviction candidate.
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	ev := c.Put("c", []byte("3"))
+	if len(ev) != 1 || ev[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", ev)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was evicted despite being recently used")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", c.Len())
+	}
+
+	// Refreshing an existing key must not evict.
+	if ev := c.Put("a", []byte("1'")); len(ev) != 0 {
+		t.Errorf("refresh evicted %v", ev)
+	}
+	if v, _ := c.Get("a"); string(v) != "1'" {
+		t.Errorf("refresh did not replace value: %q", v)
+	}
+
+	c.Remove("a")
+	if _, ok := c.Get("a"); ok || c.Len() != 1 {
+		t.Error("Remove left the entry behind")
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0) // clamped to 1
+	c.Put("a", nil)
+	ev := c.Put("b", nil)
+	if len(ev) != 1 || ev[0] != "a" {
+		t.Fatalf("evicted %v, want [a]", ev)
+	}
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// JobState is a job's lifecycle stage.
+type JobState string
+
+// The job lifecycle: queued → running → done | failed | cancelled.
+// Cancellation can also strike a job while it is still queued.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Finished reports whether the state is terminal.
+func (s JobState) Finished() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// job is the server-side record of one submission. Every field except
+// doneRuns is guarded by the server's mutex; doneRuns is written by the
+// harness's progress callback while the server reads it for status.
+type job struct {
+	id   string // content key of the canonical spec
+	spec JobSpec
+
+	state  JobState
+	errMsg string
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	doneRuns  atomic.Int64
+	totalRuns int
+}
+
+// JobStatus is the wire form of a job's state (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID     string      `json:"id"`
+	Status JobState    `json:"status"`
+	Runs   JobProgress `json:"progress"`
+	Error  string      `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+
+	// Result is the evaluation JSON (Evaluation.WriteJSON) once the job is
+	// done and its result is still cached.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// JobProgress counts completed (scheme, benchmark) simulations.
+type JobProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// status snapshots the job; callers hold the server mutex.
+func (j *job) status() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Status:      j.state,
+		Runs:        JobProgress{Done: int(j.doneRuns.Load()), Total: j.totalRuns},
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}

@@ -1,0 +1,38 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics are the server's monotonic counters and live gauges, exported in
+// the plain "name value" text format at GET /v1/metrics.
+type metrics struct {
+	jobsSubmitted atomic.Int64 // accepted and enqueued for execution
+	jobsDeduped   atomic.Int64 // submissions coalesced onto an in-flight job
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+
+	cacheHits   atomic.Int64 // submissions answered from the result cache
+	cacheMisses atomic.Int64 // submissions that had to simulate
+
+	workersBusy atomic.Int64
+}
+
+// write renders the counters plus the gauges the server passes in.
+func (m *metrics) write(w io.Writer, workers, queueDepth, cacheLen int) {
+	p := func(name string, v int64) { fmt.Fprintf(w, "%s %d\n", name, v) }
+	p("equinox_jobs_submitted_total", m.jobsSubmitted.Load())
+	p("equinox_jobs_deduped_total", m.jobsDeduped.Load())
+	p("equinox_jobs_completed_total", m.jobsCompleted.Load())
+	p("equinox_jobs_failed_total", m.jobsFailed.Load())
+	p("equinox_jobs_cancelled_total", m.jobsCancelled.Load())
+	p("equinox_cache_hits_total", m.cacheHits.Load())
+	p("equinox_cache_misses_total", m.cacheMisses.Load())
+	p("equinox_cache_entries", int64(cacheLen))
+	p("equinox_workers", int64(workers))
+	p("equinox_workers_busy", m.workersBusy.Load())
+	p("equinox_queue_depth", int64(queueDepth))
+}

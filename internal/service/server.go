@@ -1,0 +1,373 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"equinox"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Workers is the number of concurrent evaluations (default 2).
+	Workers int
+	// JobParallelism is each evaluation's internal simulation parallelism
+	// (default GOMAXPROCS/Workers, minimum 1), so a fully busy pool uses
+	// about one goroutine per core.
+	JobParallelism int
+	// CacheEntries bounds the content-addressed result cache (default 128).
+	CacheEntries int
+	// QueueDepth bounds the submission queue; submissions beyond it are
+	// rejected with 503 (default 256).
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.JobParallelism <= 0 {
+		c.JobParallelism = runtime.GOMAXPROCS(0) / c.Workers
+		if c.JobParallelism < 1 {
+			c.JobParallelism = 1
+		}
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// Server executes evaluation jobs on a bounded worker pool and serves
+// results from a content-addressed LRU cache. Create one with New, mount
+// Handler on an http.Server, and drain it with Shutdown.
+type Server struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue chan *job
+	met   metrics
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*job
+	cache  *Cache
+
+	wg sync.WaitGroup
+}
+
+// New starts a server with cfg.Workers evaluation workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       map[string]*job{},
+		cache:      NewCache(cfg.CacheEntries),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.run(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Shutdown stops accepting submissions and drains in-flight jobs. If ctx
+// expires first, the remaining jobs are cancelled and Shutdown returns
+// ctx.Err() once the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// run executes one queued job on the calling worker.
+func (s *Server) run(j *job) {
+	s.mu.Lock()
+	if j.state != JobQueued { // cancelled while waiting in the queue
+		s.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	ctx := j.ctx
+	cfg, err := j.spec.evalConfig()
+	s.mu.Unlock()
+	if err != nil {
+		// Canonicalization already validated the spec; this is a backstop.
+		s.finish(j, nil, err)
+		return
+	}
+	cfg.Parallelism = s.cfg.JobParallelism
+	cfg.Progress = func(done, total int) { j.doneRuns.Store(int64(done)) }
+	s.met.workersBusy.Add(1)
+	ev, err := equinox.RunEvaluationContext(ctx, cfg)
+	s.met.workersBusy.Add(-1)
+	s.finish(j, ev, err)
+}
+
+// finish records a job's outcome and, on success, stores its result in the
+// cache, dropping the bookkeeping of any entries the insert evicted.
+func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
+	now := time.Now()
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.mu.Lock()
+		if j.state != JobCancelled { // cancelled by Shutdown, not DELETE
+			j.state = JobCancelled
+			j.finished = now
+			s.met.jobsCancelled.Add(1)
+		}
+		s.mu.Unlock()
+	case err != nil:
+		s.mu.Lock()
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		j.finished = now
+		s.mu.Unlock()
+		s.met.jobsFailed.Add(1)
+	default:
+		var buf bytes.Buffer
+		werr := ev.WriteJSON(&buf)
+		s.mu.Lock()
+		switch {
+		case werr != nil:
+			j.state = JobFailed
+			j.errMsg = werr.Error()
+			j.finished = now
+			s.met.jobsFailed.Add(1)
+		case j.state == JobCancelled:
+			// DELETE raced with completion; honor the cancellation.
+		default:
+			j.state = JobDone
+			j.finished = now
+			for _, k := range s.cache.Put(j.id, buf.Bytes()) {
+				delete(s.jobs, k)
+			}
+			s.met.jobsCompleted.Add(1)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs      submit a JobSpec; identical specs share one job ID
+//	GET    /v1/jobs/{id} status, progress, and (when done) the result JSON
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /v1/metrics   text-format counters and gauges
+//	GET    /v1/healthz   liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// SubmitResponse is the wire form of a submission's outcome.
+type SubmitResponse struct {
+	ID     string   `json:"id"`
+	Status JobState `json:"status"`
+	// Cached reports that the result was already available and no
+	// simulation was scheduled.
+	Cached bool `json:"cached"`
+	Runs   int  `json:"runs"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := keyOf(canon)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if j, ok := s.jobs[key]; ok {
+		switch {
+		case j.state == JobDone:
+			if _, hit := s.cache.Get(key); hit {
+				s.met.cacheHits.Add(1)
+				resp := SubmitResponse{ID: key, Status: JobDone, Cached: true, Runs: j.totalRuns}
+				s.mu.Unlock()
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+			// Result evicted between Put and now; fall through to re-run.
+		case !j.state.Finished():
+			s.met.jobsDeduped.Add(1)
+			resp := SubmitResponse{ID: key, Status: j.state, Runs: j.totalRuns}
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		// Failed or cancelled (or evicted): replace with a fresh attempt.
+	}
+	j := s.newJobLocked(key, canon)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, key)
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "job queue is full")
+		return
+	}
+	s.met.jobsSubmitted.Add(1)
+	s.met.cacheMisses.Add(1)
+	resp := SubmitResponse{ID: key, Status: JobQueued, Runs: j.totalRuns}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// newJobLocked registers a fresh job record; the caller holds s.mu.
+func (s *Server) newJobLocked(key string, canon JobSpec) *job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		id:        key,
+		spec:      canon,
+		state:     JobQueued,
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		totalRuns: canon.Runs(),
+	}
+	s.jobs[key] = j
+	return j
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such job (completed results expire from the cache)")
+		return
+	}
+	st := j.status()
+	if j.state == JobDone {
+		if res, hit := s.cache.Get(id); hit {
+			st.Result = json.RawMessage(res)
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch j.state {
+	case JobDone, JobFailed:
+		st := j.status()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, st)
+		return
+	case JobCancelled: // idempotent
+	default:
+		j.cancel()
+		j.state = JobCancelled
+		j.finished = time.Now()
+		s.met.jobsCancelled.Add(1)
+	}
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	cacheLen := s.cache.Len()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.met.write(w, s.cfg.Workers, len(s.queue), cacheLen)
+}
+
+// keyOf hashes an already-canonical spec (see JobSpec.Key).
+func keyOf(canon JobSpec) (string, error) {
+	raw, err := json.Marshal(canon)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

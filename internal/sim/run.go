@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"equinox/internal/geom"
@@ -328,20 +329,46 @@ func (s *System) Finished() bool {
 
 // Run executes the simulation to completion and gathers the result.
 func Run(cfg Config, prof workloads.Profile) (Result, error) {
+	return RunContext(context.Background(), cfg, prof)
+}
+
+// RunContext executes the simulation to completion, honoring ctx: the cycle
+// loop checks for cancellation every cancelCheckCycles cycles and returns
+// the partially collected result with ctx.Err() when the context is done.
+func RunContext(ctx context.Context, cfg Config, prof workloads.Profile) (Result, error) {
 	s, err := NewSystem(cfg, prof)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.RunToCompletion()
+	return s.RunToCompletionContext(ctx)
 }
+
+// cancelCheckCycles is how often the cycle loop polls ctx.Done(). At the
+// default core clock a check every 4096 cycles bounds cancellation latency
+// to a few microseconds of simulated time while keeping the per-cycle cost
+// unmeasurable.
+const cancelCheckCycles = 4096
 
 // RunToCompletion drives Step until the system finishes or hits MaxCycles.
 func (s *System) RunToCompletion() (Result, error) {
+	return s.RunToCompletionContext(context.Background())
+}
+
+// RunToCompletionContext drives Step until the system finishes, hits
+// MaxCycles, or ctx is cancelled.
+func (s *System) RunToCompletionContext(ctx context.Context) (Result, error) {
 	for !s.Finished() {
 		if s.now >= s.cfg.MaxCycles {
 			res := s.collect()
 			res.TimedOut = true
 			return res, fmt.Errorf("sim: %v/%s exceeded %d cycles", s.cfg.Scheme, s.prof.Name, s.cfg.MaxCycles)
+		}
+		if s.now%cancelCheckCycles == 0 {
+			select {
+			case <-ctx.Done():
+				return s.collect(), ctx.Err()
+			default:
+			}
 		}
 		s.Step()
 	}

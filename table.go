@@ -2,6 +2,7 @@ package equinox
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"equinox/internal/interposer"
@@ -72,7 +73,11 @@ func (ev *Evaluation) figure9(title string, m metric, base sim.SchemeKind) Table
 	for i, b := range ev.Benches {
 		row := []string{b}
 		for _, s := range ev.Schemes {
-			row = append(row, fmt.Sprintf("%.3f", per[s][i]))
+			if v := per[s][i]; math.IsNaN(v) {
+				row = append(row, "-") // run failed; excluded from the geomean
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", v))
+			}
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench eval serve heatmap design cover clean
+.PHONY: all build vet test race bench bench-all eval serve heatmap design cover clean
 
 all: build vet test
 
@@ -19,8 +19,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark harness: one benchmark per paper table/figure.
+# Simulator-throughput regression record: per-scheme cycles/sec, ns/op, and
+# allocs/op written to BENCH_<date>.json (compare against a previous file
+# with `go run ./cmd/equinox-bench -baseline BENCH_<old>.json`).
 bench:
+	$(GO) run ./cmd/equinox-bench
+
+# Full benchmark harness: one benchmark per paper table/figure.
+bench-all:
 	$(GO) test -bench=. -benchmem
 
 # Regenerate the paper's evaluation (Figures 9/10/11, Table 1, §6.6).

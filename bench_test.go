@@ -296,24 +296,57 @@ func BenchmarkAblationEIRCount(b *testing.B) {
 	b.ReportMetric(costs[3], "cost-4eir")
 }
 
-// BenchmarkSimulatorThroughput measures raw simulator speed (cycles/sec of
-// a SeparateBase run), the enabling metric for the whole harness.
+// benchSchemeConfig returns a ready-to-run config for a scheme at benchmark
+// scale, wiring the EquiNox design inputs (N-Queen placement + greedy EIR
+// assignment, both deterministic) when the scheme needs them.
+func benchSchemeConfig(b *testing.B, scheme sim.SchemeKind) sim.Config {
+	b.Helper()
+	cfg := sim.DefaultConfig(scheme)
+	cfg.InstructionsPerPE = 300
+	if scheme == sim.EquiNox {
+		pl, err := placement.New(placement.NQueen, 8, 8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prob := mcts.NewProblem(8, 8, pl.CBs)
+		res, err := mcts.GreedyTwoHop(prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.CBOverride = pl.CBs
+		cfg.EIRGroups = prob.Groups(res.Assignment)
+	}
+	return cfg
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed — the enabling
+// metric for the whole harness — as one sub-benchmark per scheme. Each
+// reports simulated cycles per wall-clock second alongside the standard
+// ns/op and allocs/op, so `make bench` tracks both throughput and the
+// zero-allocation property per scheme.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	prof, err := workloads.ByName("hotspot")
 	if err != nil {
 		b.Fatal(err)
 	}
-	var cycles int64
-	for i := 0; i < b.N; i++ {
-		cfg := sim.DefaultConfig(sim.SeparateBase)
-		cfg.InstructionsPerPE = 300
-		res, err := sim.Run(cfg, prof)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cycles = res.ExecCycles
+	for _, scheme := range sim.AllSchemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			cfg := benchSchemeConfig(b, scheme)
+			var last, total int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(cfg, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.ExecCycles
+				total += res.ExecCycles
+			}
+			b.ReportMetric(float64(last), "sim-cycles")
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(total)/s, "cycles/sec")
+			}
+		})
 	}
-	b.ReportMetric(float64(cycles), "sim-cycles")
 }
 
 // BenchmarkAblationPlacement isolates the §4.2 claim at system level:

@@ -1,0 +1,133 @@
+// Command equinox-bench measures simulator throughput per scheme and writes
+// a machine-readable benchmark record (BENCH_<date>.json) for regression
+// tracking: cycles/sec, ns/op, bytes/op, and allocs/op for each of the seven
+// schemes on a fixed workload. `make bench` wraps it; CI uploads the file as
+// an artifact so throughput changes are visible per commit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"equinox/internal/mcts"
+	"equinox/internal/placement"
+	"equinox/internal/sim"
+	"equinox/internal/workloads"
+)
+
+type schemeResult struct {
+	Scheme       string  `json:"scheme"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	SimCycles    int64   `json:"sim_cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+type report struct {
+	Date              string         `json:"date"`
+	GoVersion         string        `json:"go_version"`
+	Workload          string         `json:"workload"`
+	InstructionsPerPE int            `json:"instructions_per_pe"`
+	Schemes           []schemeResult `json:"schemes"`
+	// Baseline optionally embeds a previous report's scheme results for
+	// side-by-side before/after records (see -baseline).
+	Baseline []schemeResult `json:"baseline,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02")),
+		"output JSON path")
+	workload := flag.String("workload", "hotspot", "workload profile to simulate")
+	instr := flag.Int("instructions", 300, "instructions per PE")
+	baseline := flag.String("baseline", "", "previous BENCH_*.json to embed for comparison")
+	flag.Parse()
+
+	prof, err := workloads.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Date:              time.Now().Format(time.RFC3339),
+		GoVersion:         runtime.Version(),
+		Workload:          *workload,
+		InstructionsPerPE: *instr,
+	}
+	for _, scheme := range sim.AllSchemes() {
+		cfg := sim.DefaultConfig(scheme)
+		cfg.InstructionsPerPE = *instr
+		if scheme == sim.EquiNox {
+			pl, err := placement.New(placement.NQueen, cfg.Width, cfg.Height, cfg.NumCBs)
+			if err != nil {
+				fatal(err)
+			}
+			prob := mcts.NewProblem(cfg.Width, cfg.Height, pl.CBs)
+			res, err := mcts.GreedyTwoHop(prob)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.CBOverride = pl.CBs
+			cfg.EIRGroups = prob.Groups(res.Assignment)
+		}
+
+		var cycles int64
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var total int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(cfg, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.ExecCycles
+				total += res.ExecCycles
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(total)/s, "cycles/sec")
+			}
+		})
+		sr := schemeResult{
+			Scheme:       scheme.String(),
+			NsPerOp:      br.NsPerOp(),
+			BytesPerOp:   br.AllocedBytesPerOp(),
+			AllocsPerOp:  br.AllocsPerOp(),
+			SimCycles:    cycles,
+			CyclesPerSec: br.Extra["cycles/sec"],
+		}
+		rep.Schemes = append(rep.Schemes, sr)
+		fmt.Printf("%-18s %12d ns/op %10.0f cycles/sec %8d allocs/op\n",
+			sr.Scheme, sr.NsPerOp, sr.CyclesPerSec, sr.AllocsPerOp)
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var prev report
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			fatal(fmt.Errorf("parse baseline %s: %w", *baseline, err))
+		}
+		rep.Baseline = prev.Schemes
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "equinox-bench:", err)
+	os.Exit(1)
+}

@@ -12,6 +12,12 @@
 //	curl -s -X DELETE localhost:8080/v1/jobs/<id>
 //	curl -s localhost:8080/v1/metrics
 //
+// Runtime profiling is exposed under /debug/pprof/ (CPU, heap, goroutine,
+// …), so a loaded server can be profiled in place:
+//
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//	go tool pprof http://localhost:8080/debug/pprof/heap
+//
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight jobs
 // (bounded by -drain).
 package main
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
 	"os/signal"
 	"syscall"
 	"time"
@@ -48,7 +55,11 @@ func main() {
 		CacheEntries:   *cache,
 		QueueDepth:     *queue,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	// net/http/pprof registers on the default mux; route its prefix there.
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

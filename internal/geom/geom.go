@@ -125,7 +125,13 @@ func (d Direction) Opposite() Direction {
 // DirTowards returns the one or two minimal-path directions from src toward
 // dst on a mesh. If src == dst it returns no directions.
 func DirTowards(src, dst Point) []Direction {
-	var dirs []Direction
+	return AppendDirTowards(nil, src, dst)
+}
+
+// AppendDirTowards appends the productive directions from src to dst onto
+// dirs and returns the extended slice. The allocation-free variant of
+// DirTowards for per-cycle hot paths that reuse a scratch buffer.
+func AppendDirTowards(dirs []Direction, src, dst Point) []Direction {
 	if dst.X > src.X {
 		dirs = append(dirs, East)
 	} else if dst.X < src.X {

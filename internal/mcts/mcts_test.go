@@ -7,7 +7,7 @@ import (
 	"equinox/internal/placement"
 )
 
-func paperProblem(t *testing.T) Problem {
+func paperProblem(t testing.TB) Problem {
 	t.Helper()
 	pl, err := placement.New(placement.NQueen, 8, 8, 8)
 	if err != nil {

@@ -1,0 +1,143 @@
+package noc
+
+import (
+	"testing"
+
+	"equinox/internal/geom"
+)
+
+// allocHarness keeps a warmed-up network saturated with recycled packets so
+// the measured loop exercises injection, traversal, and ejection without any
+// test-side allocation.
+type allocHarness struct {
+	n    *Network
+	free []*Packet
+}
+
+// newAllocHarness pre-allocates packets for the given (src, dst) pairs.
+// perPair controls offered load; packets are recycled on delivery.
+func newAllocHarness(t *testing.T, n *Network, typ PacketType, pairs [][2]int, perPair int) *allocHarness {
+	t.Helper()
+	h := &allocHarness{n: n}
+	id := int64(1)
+	for _, pr := range pairs {
+		for k := 0; k < perPair; k++ {
+			h.free = append(h.free, &Packet{ID: id, Type: typ, Src: pr[0], Dst: pr[1]})
+			id++
+		}
+	}
+	// Reserve pop-side capacity so steady-state appends never grow the slice.
+	h.free = append(make([]*Packet, 0, 2*len(h.free)), h.free...)
+	return h
+}
+
+// tick is the measured unit: top up injection queues, advance one cycle,
+// drain deliveries back onto the free list.
+func (h *allocHarness) tick() {
+	now := h.n.Now()
+	for len(h.free) > 0 {
+		p := h.free[len(h.free)-1]
+		if !h.n.TryInject(p, now) {
+			break
+		}
+		h.free = h.free[:len(h.free)-1]
+	}
+	h.n.Step()
+	for node := 0; node < h.n.Cfg.Nodes(); node++ {
+		for {
+			p := h.n.PopDelivered(node)
+			if p == nil {
+				break
+			}
+			h.free = append(h.free, p)
+		}
+	}
+}
+
+// checkSteadyStateAllocs warms the network up (filling the flit pool, scratch
+// buffers, and worklists), then asserts the hot loop runs allocation-free.
+func checkSteadyStateAllocs(t *testing.T, h *allocHarness) {
+	t.Helper()
+	for i := 0; i < 3000; i++ {
+		h.tick()
+	}
+	if avg := testing.AllocsPerRun(200, h.tick); avg != 0 {
+		t.Errorf("steady-state Step allocates %.2f objects/cycle, want 0", avg)
+	}
+}
+
+// TestStepDoesNotAllocate locks in the zero-allocation hot loop: a warmed-up
+// network must step, route, and deliver recycled packets without producing
+// any garbage, for both a SingleBase-style shared network and an EquiNox
+// network with EIR injection.
+func TestStepDoesNotAllocate(t *testing.T) {
+	t.Run("SingleBase", func(t *testing.T) {
+		cfg := DefaultConfig("single", 8, 8)
+		cfg.Routing = RoutingXY
+		cfg.VCPolicy = VCByClass
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Crossing request traffic between opposite corners plus a hotspot.
+		pairs := [][2]int{{0, 63}, {63, 0}, {7, 56}, {56, 7}, {1, 27}, {62, 27}}
+		h := newAllocHarness(t, n, ReadRequest, pairs, 6)
+		checkSteadyStateAllocs(t, h)
+	})
+
+	t.Run("EquiNox", func(t *testing.T) {
+		cfg := DefaultConfig("equinox", 8, 8)
+		cb1, cb2 := geom.Pt(3, 3), geom.Pt(4, 4)
+		cfg.CBs = []geom.Point{cb1, cb2}
+		cfg.EIRGroups = map[geom.Point][]geom.Point{
+			cb1: {geom.Pt(1, 3), geom.Pt(5, 3), geom.Pt(3, 1), geom.Pt(3, 5)},
+			cb2: {geom.Pt(2, 4), geom.Pt(6, 4), geom.Pt(4, 2), geom.Pt(4, 6)},
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reply traffic fanning out from the CBs through their EIRs, the
+		// pattern the EquiNox NI exists for.
+		w := cfg.Width
+		pairs := [][2]int{
+			{cb1.ID(w), 0}, {cb1.ID(w), 7}, {cb1.ID(w), 56}, {cb1.ID(w), 63},
+			{cb2.ID(w), 0}, {cb2.ID(w), 7}, {cb2.ID(w), 56}, {cb2.ID(w), 63},
+		}
+		h := newAllocHarness(t, n, ReadReply, pairs, 4)
+		checkSteadyStateAllocs(t, h)
+	})
+}
+
+// TestQuiescentMatchesScan cross-checks the O(1) in-flight counter behind
+// Quiescent against the full-network scan it replaced, at every cycle of a
+// busy run including the drain to empty.
+func TestQuiescentMatchesScan(t *testing.T) {
+	n, err := New(DefaultConfig("t", 6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 35}, {35, 0}, {5, 30}, {30, 5}, {14, 21}}
+	h := newAllocHarness(t, n, ReadReply, pairs, 3)
+	for i := 0; i < 400; i++ {
+		h.tick()
+		if got, want := n.Quiescent(), n.quiescentScan(); got != want {
+			t.Fatalf("cycle %d: Quiescent()=%v but scan says %v", n.Now(), got, want)
+		}
+	}
+	// Stop injecting and drain completely; the counter must reach zero
+	// exactly when the scan does.
+	for i := 0; i < 2000 && !n.Quiescent(); i++ {
+		n.Step()
+		for node := 0; node < n.Cfg.Nodes(); node++ {
+			for n.PopDelivered(node) != nil {
+			}
+		}
+		if got, want := n.Quiescent(), n.quiescentScan(); got != want {
+			t.Fatalf("drain cycle %d: Quiescent()=%v but scan says %v", n.Now(), got, want)
+		}
+	}
+	if !n.Quiescent() {
+		t.Fatal("network did not drain")
+	}
+}

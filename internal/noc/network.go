@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"slices"
 
 	"equinox/internal/geom"
 )
@@ -22,6 +23,33 @@ type Network struct {
 
 	now          int64
 	lastProgress int64
+
+	// Active-set scheduler state: Step only visits routers and NIs that hold
+	// work, so idle corners of the mesh cost nothing per cycle. The lists are
+	// kept sorted by index so arbitration order matches a full scan.
+	active   []int32 // router IDs with buffered or in-flight flits
+	newly    []int32 // routers activated since the last merge (unsorted)
+	mergeBuf []int32
+	activeNI []int32 // NI indices with pending packets or streaming flits
+	newNI    []int32
+	niMerge  []int32
+	niQueued []bool
+
+	// inflight counts packets between TryInject and PopDeliveredClass,
+	// making Quiescent O(1) instead of a full-network scan. delivered counts
+	// the subset sitting in ejection queues awaiting a Pop.
+	inflight  int64
+	delivered int
+
+	// flitPool recycles Flit structs from ejected packets back to the NIs so
+	// steady-state injection allocates nothing.
+	flitPool []*Flit
+
+	// classVCList is the precomputed per-class downstream-VC preference
+	// order (see initClassVCs).
+	classVCList [NumClasses][]int
+	// allocStride is the owner-token stride: the per-port VC count.
+	allocStride int
 
 	Stats Stats
 
@@ -48,8 +76,9 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{Cfg: cfg, ejectCap: 2}
+	n := &Network{Cfg: cfg, ejectCap: 2, allocStride: cfg.VCsPerPort}
 	n.Stats.init(cfg)
+	n.initClassVCs()
 
 	// Routers.
 	for y := 0; y < cfg.Height; y++ {
@@ -90,14 +119,16 @@ func New(cfg Config) (*Network, error) {
 		}
 	}
 
-	isCB := map[geom.Point]bool{}
+	// Index-keyed CB lookup (a point-keyed map costs a hash per probe and
+	// allocates; the mesh is dense so a flat bool table is both).
+	isCB := make([]bool, cfg.Nodes())
 	for _, cb := range cfg.CBs {
-		isCB[cb] = true
+		isCB[cb.ID(cfg.Width)] = true
 	}
 
 	// MultiPort extra injection/ejection ports at CB routers.
 	for _, r := range n.Routers {
-		if !isCB[r.pos] {
+		if !isCB[r.id] {
 			continue
 		}
 		for k := 1; k < cfg.EjectPortsPerCB; k++ {
@@ -132,15 +163,70 @@ func New(cfg Config) (*Network, error) {
 				r.in[port].upNI = ni
 				n.nis = append(n.nis, ni)
 			}
-		case cfg.EIRGroups != nil && isCB[r.pos]:
+		case cfg.EIRGroups != nil && isCB[r.id]:
 			n.nis = append(n.nis, newEquiNoxNI(n, r, cfg.EIRGroups[r.pos]))
-		case cfg.InjectPortsPerCB > 1 && isCB[r.pos]:
+		case cfg.InjectPortsPerCB > 1 && isCB[r.id]:
 			n.nis = append(n.nis, newMultiPortNI(n, r, cfg.InjectPortsPerCB))
 		default:
 			n.nis = append(n.nis, newStandardNI(n, r))
 		}
 	}
+
+	// Finalize per-router scratch now that every port (MultiPort ejection,
+	// EIR and spoke injection) exists.
+	for _, r := range n.Routers {
+		r.saReqs = make([]saReq, 0, len(r.in))
+		r.grant = make([]int32, len(r.out))
+		r.candBuf = make([]routeCand, 0, len(r.out)*cfg.VCsPerPort)
+		r.vcOrdBuf = make([]int, 0, cfg.VCsPerPort)
+		r.dirBuf = make([]geom.Direction, 0, 2)
+	}
+	n.niQueued = make([]bool, len(n.nis))
 	return n, nil
+}
+
+// markNIActive puts an NI on the active worklist; idempotent.
+func (n *Network) markNIActive(ix int) {
+	if !n.niQueued[ix] {
+		n.niQueued[ix] = true
+		n.newNI = append(n.newNI, int32(ix))
+	}
+}
+
+// mergeSorted merges the sorted worklist with newly activated indices
+// (disjoint by construction: the queued flag keeps an index out of both).
+func mergeSorted(active, newly, buf []int32) (merged, spare []int32) {
+	slices.Sort(newly)
+	merged = buf[:0]
+	i, j := 0, 0
+	for i < len(active) && j < len(newly) {
+		if active[i] < newly[j] {
+			merged = append(merged, active[i])
+			i++
+		} else {
+			merged = append(merged, newly[j])
+			j++
+		}
+	}
+	merged = append(merged, active[i:]...)
+	merged = append(merged, newly[j:]...)
+	return merged, active[:0]
+}
+
+func (n *Network) mergeActive() {
+	if len(n.newly) == 0 {
+		return
+	}
+	n.active, n.mergeBuf = mergeSorted(n.active, n.newly, n.mergeBuf)
+	n.newly = n.newly[:0]
+}
+
+func (n *Network) mergeActiveNIs() {
+	if len(n.newNI) == 0 {
+		return
+	}
+	n.activeNI, n.niMerge = mergeSorted(n.activeNI, n.newNI, n.niMerge)
+	n.newNI = n.newNI[:0]
 }
 
 // Now returns the current cycle of this network's clock domain.
@@ -150,9 +236,12 @@ func (n *Network) Now() int64 { return n.now }
 // Packet.Spoke on concentrated networks); false if the queue is full. The
 // packet's Flits field is set from the network's flit width.
 func (n *Network) TryInject(p *Packet, now int64) bool {
-	if n.nis[p.Src*n.spokes+p.Spoke%n.spokes].tryEnqueue(p, now) {
+	ix := p.Src*n.spokes + p.Spoke%n.spokes
+	if n.nis[ix].tryEnqueue(p, now) {
 		p.Flits = SizeInFlits(p.Type, n.Cfg.FlitBytes, n.Cfg.LineBytes)
 		n.Stats.packetInjected(p, n.Cfg.FlitBytes)
+		n.markNIActive(ix)
+		n.inflight++
 		return true
 	}
 	return false
@@ -178,9 +267,17 @@ func (n *Network) PopDeliveredClass(node int, c Class) *Packet {
 		return nil
 	}
 	p := q[0]
-	n.ejectQ[c][node] = q[1:]
+	// Compact in place so the queue's backing array is reused forever.
+	copy(q, q[1:])
+	n.ejectQ[c][node] = q[:len(q)-1]
+	n.inflight--
+	n.delivered--
 	return p
 }
+
+// DeliveredPending returns how many delivered packets are waiting to be
+// popped across all nodes; endpoint drains can skip the network when zero.
+func (n *Network) DeliveredPending() int { return n.delivered }
 
 // PeekDeliveredClass returns the oldest delivered packet of a class at a
 // node without removing it.
@@ -204,49 +301,130 @@ func (n *Network) ejectFlit(node int, f *Flit, now int64) {
 		f.Pkt.DeliveredAt = now
 		c := ClassOf(f.Pkt.Type)
 		n.ejectQ[c][node] = append(n.ejectQ[c][node], f.Pkt)
+		n.delivered++
 		n.Stats.packetDelivered(f.Pkt, n.Cfg)
 		if n.OnDeliver != nil {
 			n.OnDeliver(f.Pkt)
 		}
 	}
+	// The flit is dead: recycle it to the NI-side pool.
+	n.flitPool = append(n.flitPool, f)
 }
 
-// Step advances the network by one cycle.
+// makeFlits serializes a packet into buf (reused across packets), drawing
+// Flit structs from the recycle pool so steady-state injection is
+// allocation-free. The exported MakeFlits remains the pool-free variant for
+// callers outside the simulator loop.
+func (n *Network) makeFlits(p *Packet, buf []*Flit) []*Flit {
+	buf = buf[:0]
+	for i := 0; i < p.Flits; i++ {
+		var f *Flit
+		if k := len(n.flitPool); k > 0 {
+			f = n.flitPool[k-1]
+			n.flitPool = n.flitPool[:k-1]
+		} else {
+			f = &Flit{}
+		}
+		*f = Flit{
+			Pkt:    p,
+			Index:  i,
+			IsHead: i == 0,
+			IsTail: i == p.Flits-1,
+		}
+		buf = append(buf, f)
+	}
+	return buf
+}
+
+// Step advances the network by one cycle. Only routers and NIs on the
+// active worklists are visited; everything else is provably a no-op this
+// cycle, so low-load sweeps stop paying for the full mesh. Worklists are
+// iterated in ascending index order, which reproduces the arbitration
+// ordering of a full scan exactly (bit-identical results).
 func (n *Network) Step() {
 	now := n.now
+	n.mergeActive()
 	// 1. Deliver link arrivals due this cycle.
-	for _, r := range n.Routers {
-		r.deliverArrivals(now)
+	for _, id := range n.active {
+		r := n.Routers[id]
+		if r.linkFlits > 0 {
+			r.deliverArrivals(now)
+		}
 	}
 	// 2. NI injection streams flits into router input buffers.
-	for _, ni := range n.nis {
-		ni.step(now)
+	n.mergeActiveNIs()
+	for _, ix := range n.activeNI {
+		n.nis[ix].step(now)
 	}
+	// Routers that received their first flit in phases 1–2 must take part in
+	// this cycle's allocation, exactly as under a full scan.
+	n.mergeActive()
 	// 3. Routing + VC allocation.
-	for _, r := range n.Routers {
-		r.vcAllocate()
+	for _, id := range n.active {
+		r := n.Routers[id]
+		if r.inFlits > 0 {
+			r.vcAllocate(now)
+		}
 	}
 	// 4. Switch allocation + traversal.
 	moved := 0
-	for _, r := range n.Routers {
-		moved += r.switchAllocate(now)
+	for _, id := range n.active {
+		r := n.Routers[id]
+		if r.inFlits > 0 {
+			moved += r.switchAllocate(now)
+		}
 	}
 	if moved > 0 {
 		n.lastProgress = now
 	}
+	n.pruneActive()
 	n.Stats.cycles++
 	n.now++
 }
 
+// pruneActive retires routers and NIs whose work drained this cycle.
+func (n *Network) pruneActive() {
+	w := 0
+	for _, id := range n.active {
+		r := n.Routers[id]
+		if r.inFlits > 0 || r.linkFlits > 0 {
+			n.active[w] = id
+			w++
+		} else {
+			r.queued = false
+		}
+	}
+	n.active = n.active[:w]
+	w = 0
+	for _, ix := range n.activeNI {
+		if n.nis[ix].pending() {
+			n.activeNI[w] = ix
+			w++
+		} else {
+			n.niQueued[ix] = false
+		}
+	}
+	n.activeNI = n.activeNI[:w]
+}
+
 // Quiescent reports whether no packet or flit remains anywhere in the
-// network (all injected traffic delivered and consumed).
-func (n *Network) Quiescent() bool {
+// network (all injected traffic delivered and consumed). O(1): the inflight
+// counter tracks every packet from TryInject to PopDeliveredClass, and no
+// flit can outlive its packet's stay in the network.
+func (n *Network) Quiescent() bool { return n.inflight == 0 }
+
+// quiescentScan is the full-network reference implementation of Quiescent,
+// kept for tests that cross-check the O(1) counter.
+func (n *Network) quiescentScan() bool {
 	for _, ni := range n.nis {
 		if ni.pending() {
 			return false
 		}
 	}
 	for _, r := range n.Routers {
+		if r.inFlits > 0 || r.linkFlits > 0 {
+			return false
+		}
 		for _, ip := range r.in {
 			for _, vb := range ip.vcs {
 				if !vb.empty() {
@@ -380,9 +558,8 @@ func (ni *standardNI) step(now int64) {
 			if vc == noAlloc {
 				continue
 			}
-			ni.cur = ni.queues[c][0]
-			ni.queues[c] = ni.queues[c][1:]
-			ni.flits = MakeFlits(ni.cur)
+			ni.queues[c], ni.cur = popPacket(ni.queues[c])
+			ni.flits = ni.net.makeFlits(ni.cur, ni.flits)
 			ni.sent = 0
 			ni.curVC = vc
 			ni.cur.InjectedAt = now
@@ -399,12 +576,21 @@ func (ni *standardNI) step(now int64) {
 	if vb.free() > 0 && ni.sent < len(ni.flits) {
 		f := ni.flits[ni.sent]
 		f.enteredRouter = now
-		vb.q = append(vb.q, f)
+		ni.r.accept(vb, f)
 		ni.sent++
 		if ni.sent == len(ni.flits) {
-			ni.cur, ni.flits, ni.curVC = nil, nil, noAlloc
+			// Keep the flits buffer for reuse; only drop the references.
+			ni.cur, ni.flits, ni.curVC = nil, ni.flits[:0], noAlloc
 		}
 	}
+}
+
+// popPacket removes the queue head, compacting in place so the backing
+// array is reused instead of walking forward allocation by allocation.
+func popPacket(q []*Packet) ([]*Packet, *Packet) {
+	p := q[0]
+	copy(q, q[1:])
+	return q[:len(q)-1], p
 }
 
 var _ injector = (*standardNI)(nil)

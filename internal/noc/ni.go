@@ -29,9 +29,9 @@ func (b *injBuffer) busy() bool { return b.pkt != nil }
 
 // load assigns a packet to the buffer. The VC is chosen at the first stream
 // attempt so a briefly full router buffer does not drop the assignment.
-func (b *injBuffer) load(p *Packet) {
+func (b *injBuffer) load(n *Network, p *Packet) {
 	b.pkt = p
-	b.flits = MakeFlits(p)
+	b.flits = n.makeFlits(p, b.flits)
 	b.sent = 0
 	b.vc = noAlloc
 }
@@ -55,10 +55,10 @@ func (b *injBuffer) stream(n *Network, now int64) {
 	if vb.free() > 0 && b.sent < len(b.flits) {
 		f := b.flits[b.sent]
 		f.enteredRouter = now
-		vb.q = append(vb.q, f)
+		b.r.accept(vb, f)
 		b.sent++
 		if b.sent == len(b.flits) {
-			b.pkt, b.flits, b.vc = nil, nil, noAlloc
+			b.pkt, b.flits, b.vc = nil, b.flits[:0], noAlloc
 		}
 	}
 }
@@ -206,8 +206,8 @@ func (ni *equiNoxNI) step(now int64) {
 		p := ni.queue[0]
 		dst := geom.FromID(p.Dst, ni.net.Cfg.Width)
 		if b := ni.selectBuffer(dst); b != nil {
-			b.load(p)
-			ni.queue = ni.queue[1:]
+			ni.queue, _ = popPacket(ni.queue)
+			b.load(ni.net, p)
 		}
 	}
 	// All five buffers stream concurrently (the split buffers are the whole
@@ -289,20 +289,23 @@ func (ni *multiPortNI) pending() bool {
 	return false
 }
 
+// busyOf counts buffers currently streaming packets of a class (a method,
+// not a closure, to keep the per-cycle step allocation-free).
+func (ni *multiPortNI) busyOf(c Class) int {
+	n := 0
+	for _, b := range ni.bufs {
+		if b.busy() && ClassOf(b.pkt.Type) == c {
+			n++
+		}
+	}
+	return n
+}
+
 func (ni *multiPortNI) step(now int64) {
 	// Assign one head packet to a free buffer, alternating classes so a
 	// blocked class never starves the other. One class may never occupy
 	// every buffer: a backpressured request stream hogging all buffers
 	// would trap replies in the NI and close the M2F2M protocol loop.
-	busyOf := func(c Class) int {
-		n := 0
-		for _, b := range ni.bufs {
-			if b.busy() && ClassOf(b.pkt.Type) == c {
-				n++
-			}
-		}
-		return n
-	}
 	for a := 0; a < ni.assigns; a++ {
 		assigned := false
 		for k := 0; k < int(NumClasses); k++ {
@@ -310,14 +313,15 @@ func (ni *multiPortNI) step(now int64) {
 			if len(ni.queues[c]) == 0 {
 				continue
 			}
-			if len(ni.bufs) > 1 && busyOf(c) >= len(ni.bufs)-1 {
+			if len(ni.bufs) > 1 && ni.busyOf(c) >= len(ni.bufs)-1 {
 				continue // leave one buffer for the other class
 			}
 			for j := 0; j < len(ni.bufs); j++ {
 				b := ni.bufs[(ni.rr+j)%len(ni.bufs)]
 				if !b.busy() {
-					b.load(ni.queues[c][0])
-					ni.queues[c] = ni.queues[c][1:]
+					var p *Packet
+					ni.queues[c], p = popPacket(ni.queues[c])
+					b.load(ni.net, p)
 					ni.rr = (ni.rr + j + 1) % len(ni.bufs)
 					assigned = true
 					break

@@ -33,6 +33,17 @@ type vcBuf struct {
 func (b *vcBuf) free() int   { return b.cap - len(b.q) }
 func (b *vcBuf) empty() bool { return len(b.q) == 0 }
 
+// pop removes and returns the head flit. The queue is compacted in place so
+// the backing array never walks forward: once a buffer has grown to its
+// steady-state occupancy, pushes stop allocating (a `q = q[1:]` pop would
+// strand capacity behind the slice base and force append to reallocate).
+func (b *vcBuf) pop() *Flit {
+	f := b.q[0]
+	copy(b.q, b.q[1:])
+	b.q = b.q[:len(b.q)-1]
+	return f
+}
+
 // inputPort is one input port with its VC buffers and the upstream entity
 // that receives our credits.
 type inputPort struct {
@@ -91,12 +102,43 @@ type Router struct {
 	// router has no neighbour in that direction).
 	dirOut [geom.NumDirections]int
 
-	rrInPort int // round-robin over input ports for VC allocation fairness
+	// Occupancy counters for the network's active-set scheduler: the router
+	// only takes allocator/link work while either is non-zero.
+	inFlits   int  // flits buffered in this router's input VCs
+	linkFlits int  // flits in flight on this router's outgoing links
+	queued    bool // on the network's active worklist
+
+	// Per-router scratch reused across cycles so the steady-state hot path
+	// (routeCandidates, vcAllocate, switchAllocate) performs no heap
+	// allocations. Each buffer is valid only within a single phase call.
+	candBuf  []routeCand
+	vcOrdBuf []int
+	dirBuf   []geom.Direction
+	saReqs   []saReq
+	grant    []int32 // per-output granted saReqs index, noAlloc if none
 
 	// Stats: cumulative flit-cycles spent in this router and flits passed,
 	// for the Figure 4 heat maps.
 	occupancyCycles int64
 	flitsThrough    int64
+}
+
+// markActive puts the router on its network's active worklist; cheap and
+// idempotent, called whenever a flit lands in one of its input buffers.
+func (r *Router) markActive() {
+	if !r.queued {
+		r.queued = true
+		r.net.newly = append(r.net.newly, int32(r.id))
+	}
+}
+
+// accept appends a flit to an input VC buffer, maintaining the occupancy
+// counter and active-set membership. All flit arrivals (links and NIs) go
+// through here.
+func (r *Router) accept(vb *vcBuf, f *Flit) {
+	vb.q = append(vb.q, f)
+	r.inFlits++
+	r.markActive()
 }
 
 // Pos returns the router's tile coordinate.
@@ -125,41 +167,49 @@ func (n *Network) newOutputPort() *outputPort {
 }
 
 // vcOrderByCredit lists the output port's VCs most-free first, for adaptive
-// VC selection on single-class networks.
-func (c Config) vcOrderByCredit(op *outputPort) []int {
-	vcs := make([]int, c.VCsPerPort)
-	for i := range vcs {
-		vcs[i] = i
+// VC selection on single-class networks. The returned slice is the router's
+// scratch buffer, valid until the next call.
+func (r *Router) vcOrderByCredit(op *outputPort) []int {
+	vcs := r.vcOrdBuf[:0]
+	for i := range op.credits {
+		vcs = append(vcs, i)
 	}
 	for i := 1; i < len(vcs); i++ {
 		for j := i; j > 0 && op.credits[vcs[j]] > op.credits[vcs[j-1]]; j-- {
 			vcs[j], vcs[j-1] = vcs[j-1], vcs[j]
 		}
 	}
+	r.vcOrdBuf = vcs
 	return vcs
 }
 
 // classVCs returns, in preference order, the downstream VCs a packet of
 // class c may claim under the network's VC policy, for a non-escape
-// allocation on output port op.
-func (n *Network) classVCs(c Class) []int {
+// allocation on output port op. The lists are precomputed at construction
+// (initClassVCs) and must not be mutated by callers.
+func (n *Network) classVCs(c Class) []int { return n.classVCList[c] }
+
+// initClassVCs precomputes the per-class VC preference lists.
+func (n *Network) initClassVCs() {
 	switch n.Cfg.VCPolicy {
 	case VCByClass:
-		return []int{int(c)}
+		for c := Class(0); c < NumClasses; c++ {
+			n.classVCList[c] = []int{int(c)}
+		}
 	case VCMonopolize:
-		if c == Reply {
-			// Monopolization: replies prefer their own VC but may borrow the
-			// request VC when free. Requests never borrow reply VCs so reply
-			// progress cannot depend on request progress.
-			return []int{int(Reply), int(Request)}
-		}
-		return []int{int(Request)}
+		// Monopolization: replies prefer their own VC but may borrow the
+		// request VC when free. Requests never borrow reply VCs so reply
+		// progress cannot depend on request progress.
+		n.classVCList[Request] = []int{int(Request)}
+		n.classVCList[Reply] = []int{int(Reply), int(Request)}
 	default: // VCPrivate
-		vcs := make([]int, n.Cfg.VCsPerPort)
-		for i := range vcs {
-			vcs[i] = i
+		all := make([]int, n.Cfg.VCsPerPort)
+		for i := range all {
+			all[i] = i
 		}
-		return vcs
+		for c := Class(0); c < NumClasses; c++ {
+			n.classVCList[c] = all
+		}
 	}
 }
 
@@ -170,25 +220,28 @@ type routeCand struct {
 	vc   int
 }
 
+// routeCandidates fills the router's candidate scratch buffer; the returned
+// slice is valid until the next call on the same router.
 func (r *Router) routeCandidates(f *Flit) []routeCand {
 	n := r.net
+	cands := r.candBuf[:0]
 	dst := geom.FromID(f.Pkt.Dst, n.Cfg.Width)
 	if dst == r.pos {
 		// Ejection. MultiPort CB routers may have several ejection ports.
-		var cands []routeCand
 		for pi, op := range r.out {
 			if op.eject {
 				cands = append(cands, routeCand{port: pi, vc: 0})
 			}
 		}
+		r.candBuf = cands
 		return cands
 	}
 
 	cls := ClassOf(f.Pkt.Type)
-	dirs := geom.DirTowards(r.pos, dst)
+	dirs := geom.AppendDirTowards(r.dirBuf[:0], r.pos, dst)
+	r.dirBuf = dirs
 	xyDir := dirs[0] // X first: DirTowards emits the X direction first
 
-	var cands []routeCand
 	switch n.Cfg.Routing {
 	case RoutingXY:
 		op := r.dirOut[xyDir]
@@ -202,16 +255,15 @@ func (r *Router) routeCandidates(f *Flit) []routeCand {
 		// downstream credit. The turn restriction makes the channel
 		// dependence graph acyclic with ordinary wormhole flow control, so
 		// every VC is usable at full throughput with no escape channel.
-		var allowed []geom.Direction
+		allowed := dirs
 		if dst.X < r.pos.X {
-			allowed = []geom.Direction{geom.West}
-		} else {
-			allowed = dirs
+			allowed = westOnly
 		}
 		type scored struct {
 			port, credits int
 		}
-		var adaptive []scored
+		var adaptive [geom.NumDirections]scored
+		na := 0
 		for _, d := range allowed {
 			op := r.dirOut[d]
 			if op == noAlloc {
@@ -221,28 +273,40 @@ func (r *Router) routeCandidates(f *Flit) []routeCand {
 			for v := 0; v < n.Cfg.VCsPerPort; v++ {
 				total += r.out[op].credits[v]
 			}
-			adaptive = append(adaptive, scored{op, total})
+			adaptive[na] = scored{op, total}
+			na++
 		}
 		// Stable selection: higher credit first, then port order.
-		for i := 1; i < len(adaptive); i++ {
+		for i := 1; i < na; i++ {
 			for j := i; j > 0 && adaptive[j].credits > adaptive[j-1].credits; j-- {
 				adaptive[j], adaptive[j-1] = adaptive[j-1], adaptive[j]
 			}
 		}
-		for _, s := range adaptive {
-			for _, vc := range n.Cfg.vcOrderByCredit(r.out[s.port]) {
+		for _, s := range adaptive[:na] {
+			for _, vc := range r.vcOrderByCredit(r.out[s.port]) {
 				cands = append(cands, routeCand{port: s.port, vc: vc})
 			}
 		}
 	}
+	r.candBuf = cands
 	return cands
 }
 
+// westOnly is the fixed direction list for the west-first turn restriction.
+var westOnly = []geom.Direction{geom.West}
+
 // vcAllocate performs VC allocation for head flits without an output.
-func (r *Router) vcAllocate() {
+//
+// The input-port round-robin offset is derived from the cycle counter
+// instead of stored state: the legacy implementation incremented a pointer
+// once per cycle on every router, which made even a fully idle router's
+// vcAllocate call stateful. Deriving it keeps idle routers skippable by the
+// active-set scheduler while producing bit-identical arbitration.
+func (r *Router) vcAllocate(now int64) {
 	nin := len(r.in)
+	rrInPort := int(now % int64(nin))
 	for k := 0; k < nin; k++ {
-		ipIx := (r.rrInPort + k) % nin
+		ipIx := (rrInPort + k) % nin
 		ip := r.in[ipIx]
 		for vcIx, vb := range ip.vcs {
 			if vb.outPort != noAlloc || vb.empty() {
@@ -279,29 +343,34 @@ func (r *Router) vcAllocate() {
 				// adaptive) have acyclic channel dependence graphs, so
 				// owner-free acquisition with ordinary wormhole flow control
 				// suffices.
-				op.owner[c.vc] = allocKey(ipIx, vcIx)
+				op.owner[c.vc] = r.net.allocKey(ipIx, vcIx)
 				vb.outPort, vb.outVC = c.port, c.vc
 				break
 			}
 		}
 	}
-	r.rrInPort = (r.rrInPort + 1) % nin
 }
 
-func allocKey(inPort, vc int) int { return inPort*64 + vc }
+// allocKey packs an (input port, VC) pair into a unique owner token. The
+// stride is the network's actual per-port VC count (set at construction), so
+// the packing cannot silently collide for any validated configuration.
+func (n *Network) allocKey(inPort, vc int) int { return inPort*n.allocStride + vc }
+
+// saReq is one input port's switch-allocation nomination.
+type saReq struct {
+	ip   *inputPort
+	ipIx int
+	vb   *vcBuf
+	vcIx int
+}
 
 // switchAllocate runs separable input-first switch allocation and traverses
-// the granted flits. Returns the number of flits moved.
+// the granted flits. Returns the number of flits moved. All working state
+// lives in per-router scratch buffers; the steady state allocates nothing.
 func (r *Router) switchAllocate(now int64) int {
 	n := r.net
 	// Input stage: each input port nominates one VC.
-	type req struct {
-		ip   *inputPort
-		ipIx int
-		vb   *vcBuf
-		vcIx int
-	}
-	var reqs []req
+	reqs := r.saReqs[:0]
 	for i, ip := range r.in {
 		nvc := len(ip.vcs)
 		for k := 0; k < nvc; k++ {
@@ -322,48 +391,55 @@ func (r *Router) switchAllocate(now int64) int {
 			} else if op.credits[vb.outVC] <= 0 {
 				continue
 			}
-			reqs = append(reqs, req{ip, i, vb, vi})
+			reqs = append(reqs, saReq{ip, i, vb, vi})
 			ip.rrVC = (vi + 1) % nvc
 			break
 		}
 	}
+	r.saReqs = reqs
 	// Output stage: one grant per output port, round-robin over inputs.
-	granted := map[int]req{}
+	grant := r.grant
+	if len(grant) != len(r.out) {
+		// Ports were added after construction (tests wiring topologies by
+		// hand); resize once and reuse thereafter.
+		grant = make([]int32, len(r.out))
+		r.grant = grant
+	}
+	for pi := range grant {
+		grant[pi] = noAlloc
+	}
 	for pi := range r.out {
 		op := r.out[pi]
-		var want []req
-		for _, q := range reqs {
-			if q.vb.outPort == pi {
-				want = append(want, q)
+		// Round-robin among the input ports requesting this output; scanning
+		// the nomination list in order matches the old want-list selection.
+		best, bestScore := noAlloc, 0
+		for qi := range reqs {
+			if reqs[qi].vb.outPort != pi {
+				continue
+			}
+			s := ((reqs[qi].ipIx - op.rrIn) + len(r.in)) % len(r.in)
+			if best == noAlloc || s < bestScore {
+				best, bestScore = qi, s
 			}
 		}
-		if len(want) == 0 {
+		if best == noAlloc {
 			continue
-		}
-		// Round-robin among input ports.
-		best := want[0]
-		bestScore := ((best.ipIx - op.rrIn) + len(r.in)) % len(r.in)
-		for _, q := range want[1:] {
-			s := ((q.ipIx - op.rrIn) + len(r.in)) % len(r.in)
-			if s < bestScore {
-				best, bestScore = q, s
-			}
 		}
 		// Input-first allocation nominates at most one VC per input port, so
 		// granting per-output cannot double-grant an input.
-		granted[pi] = best
-		op.rrIn = (best.ipIx + 1) % len(r.in)
+		grant[pi] = int32(best)
+		op.rrIn = (reqs[best].ipIx + 1) % len(r.in)
 	}
 	// Switch traversal (fixed port order for determinism).
 	moved := 0
 	for pi := range r.out {
-		q, ok := granted[pi]
-		if !ok {
+		if grant[pi] == noAlloc {
 			continue
 		}
+		q := &reqs[grant[pi]]
 		op := r.out[pi]
-		f := q.vb.q[0]
-		q.vb.q = q.vb.q[1:]
+		f := q.vb.pop()
+		r.inFlits--
 		moved++
 		r.occupancyCycles += now - f.enteredRouter
 		r.flitsThrough++
@@ -374,9 +450,10 @@ func (r *Router) switchAllocate(now int64) int {
 			q.ip.upNI.credit(q.vcIx)
 		}
 		n.Stats.FlitHops++
+		tail := f.IsTail
 		if op.eject {
 			n.Stats.EjectFlits++
-			n.ejectFlit(r.node, f, now)
+			n.ejectFlit(r.node, f, now) // recycles f; do not touch it after
 		} else {
 			n.Stats.LinkFlits++
 			op.credits[q.vb.outVC]--
@@ -385,8 +462,9 @@ func (r *Router) switchAllocate(now int64) int {
 				vc:  q.vb.outVC,
 				due: now + op.link.latency,
 			})
+			r.linkFlits++
 		}
-		if f.IsTail {
+		if tail {
 			if !op.eject {
 				op.owner[q.vb.outVC] = noAlloc
 			}
@@ -399,7 +477,7 @@ func (r *Router) switchAllocate(now int64) int {
 // deliverArrivals moves due in-flight flits into downstream input buffers.
 func (r *Router) deliverArrivals(now int64) {
 	for _, op := range r.out {
-		if op.link == nil {
+		if op.link == nil || len(op.link.inFlight) == 0 {
 			continue
 		}
 		lnk := op.link
@@ -407,8 +485,8 @@ func (r *Router) deliverArrivals(now int64) {
 		for _, ff := range lnk.inFlight {
 			if ff.due <= now {
 				ff.f.enteredRouter = now
-				tgt := lnk.to.in[lnk.toPort].vcs[ff.vc]
-				tgt.q = append(tgt.q, ff.f)
+				lnk.to.accept(lnk.to.in[lnk.toPort].vcs[ff.vc], ff.f)
+				r.linkFlits--
 			} else {
 				lnk.inFlight[w] = ff
 				w++

@@ -51,15 +51,37 @@ type System struct {
 	prof workloads.Profile
 
 	cbs     []geom.Point
-	cbIndex map[geom.Point]int // tile → bank
-	pes     map[int]*gpu.PE    // node → PE
-	peList  []*gpu.PE          // deterministic iteration order
+	cbIndex []int           // tile ID → bank index, -1 for non-CB tiles
+	pes     map[int]*gpu.PE // node → PE
+	peList  []*gpu.PE       // deterministic iteration order
 	banks   []*gpu.CB
 
 	nets     *networkSet
 	subnetRR []int // per-bank round-robin over DA2Mesh subnets
 	now      int64
+
+	// Hot-loop scratch and pools: the cycle loop runs millions of times per
+	// evaluation, so per-cycle allocations are hoisted here.
+	servedBank []bool        // drainEjections per-cycle scratch
+	pktPool    []*noc.Packet // recycled packets (injection → delivery → pop)
 }
+
+// newPacket draws a packet from the pool (or the heap on a cold start).
+// Every field is overwritten, so recycled packets are indistinguishable from
+// fresh ones and determinism is unaffected.
+func (s *System) newPacket(typ noc.PacketType, src, dst, spoke int, payload any) *noc.Packet {
+	var p *noc.Packet
+	if k := len(s.pktPool); k > 0 {
+		p = s.pktPool[k-1]
+		s.pktPool = s.pktPool[:k-1]
+	} else {
+		p = &noc.Packet{}
+	}
+	*p = noc.Packet{Type: typ, Src: src, Dst: dst, Spoke: spoke, Payload: payload}
+	return p
+}
+
+func (s *System) freePacket(p *noc.Packet) { s.pktPool = append(s.pktPool, p) }
 
 // NewSystem builds a system for one scheme and benchmark profile.
 func NewSystem(cfg Config, prof workloads.Profile) (*System, error) {
@@ -78,15 +100,19 @@ func NewSystem(cfg Config, prof workloads.Profile) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:     cfg,
-		prof:    prof,
-		cbs:     cbs,
-		cbIndex: map[geom.Point]int{},
-		pes:     map[int]*gpu.PE{},
-		nets:    nets,
+		cfg:        cfg,
+		prof:       prof,
+		cbs:        cbs,
+		cbIndex:    make([]int, cfg.Width*cfg.Height),
+		pes:        map[int]*gpu.PE{},
+		nets:       nets,
+		servedBank: make([]bool, len(cbs)),
+	}
+	for i := range s.cbIndex {
+		s.cbIndex[i] = -1
 	}
 	for i, cb := range cbs {
-		s.cbIndex[cb] = i
+		s.cbIndex[cb.ID(cfg.Width)] = i
 		bank, err := gpu.NewCB(i, cfg.CB)
 		if err != nil {
 			return nil, err
@@ -101,10 +127,10 @@ func NewSystem(cfg Config, prof workloads.Profile) (*System, error) {
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
 			p := geom.Pt(x, y)
-			if _, isCB := s.cbIndex[p]; isCB {
+			node := p.ID(cfg.Width)
+			if s.cbIndex[node] >= 0 {
 				continue
 			}
-			node := p.ID(cfg.Width)
 			gen := prof.NewGenerator(node, instr, cfg.Seed)
 			pe, err := gpu.NewPE(node, cfg.PE, gen)
 			if err != nil {
@@ -160,16 +186,20 @@ func (s *System) injectRequest(tx *gpu.Transaction) bool {
 		typ = noc.WriteRequest
 	}
 	if s.useCMesh(tx.PE, dst) {
-		p := &noc.Packet{Type: typ, Src: s.cmeshNode(tx.PE), Dst: s.cmeshNode(dst),
-			Spoke: s.cmeshSpoke(tx.PE), Payload: tx}
+		p := s.newPacket(typ, s.cmeshNode(tx.PE), s.cmeshNode(dst), s.cmeshSpoke(tx.PE), tx)
 		if s.nets.cmesh.TryInject(p, s.nets.cmesh.Now()) {
 			return true
 		}
 		// The base mesh reaches everywhere: fall through when the spoke is
 		// busy — the two networks inject in parallel.
+		s.freePacket(p)
 	}
-	p := &noc.Packet{Type: typ, Src: tx.PE, Dst: dst, Payload: tx}
-	return s.nets.base.TryInject(p, s.nets.base.Now())
+	pb := s.newPacket(typ, tx.PE, dst, 0, tx)
+	if s.nets.base.TryInject(pb, s.nets.base.Now()) {
+		return true
+	}
+	s.freePacket(pb)
+	return false
 }
 
 // injectReply routes a CB reply transaction into the proper network.
@@ -183,32 +213,47 @@ func (s *System) injectReply(bank int, tx *gpu.Transaction) bool {
 	case s.nets.subnets != nil:
 		// Round-robin across the narrow subnets ([5] distributes packets
 		// among the subnetworks to use their aggregate injection bandwidth).
+		// One pooled packet serves every attempt; TryInject only retains it
+		// on success.
+		p := s.newPacket(typ, src, tx.PE, 0, tx)
 		for k := 0; k < len(s.nets.subnets); k++ {
 			sub := s.nets.subnets[(s.subnetRR[bank]+k)%len(s.nets.subnets)]
-			p := &noc.Packet{Type: typ, Src: src, Dst: tx.PE, Payload: tx}
 			if sub.TryInject(p, sub.Now()) {
 				s.subnetRR[bank] = (s.subnetRR[bank] + k + 1) % len(s.nets.subnets)
 				return true
 			}
 		}
+		s.freePacket(p)
 		return false
 	case s.nets.reply != nil:
-		p := &noc.Packet{Type: typ, Src: src, Dst: tx.PE, Payload: tx}
-		return s.nets.reply.TryInject(p, s.nets.reply.Now())
+		p := s.newPacket(typ, src, tx.PE, 0, tx)
+		if s.nets.reply.TryInject(p, s.nets.reply.Now()) {
+			return true
+		}
+		s.freePacket(p)
+		return false
 	case s.useCMesh(src, tx.PE):
-		p := &noc.Packet{Type: typ, Src: s.cmeshNode(src), Dst: s.cmeshNode(tx.PE),
-			Spoke: s.cmeshSpoke(src), Payload: tx}
+		p := s.newPacket(typ, s.cmeshNode(src), s.cmeshNode(tx.PE), s.cmeshSpoke(src), tx)
 		if s.nets.cmesh.TryInject(p, s.nets.cmesh.Now()) {
 			return true
 		}
+		s.freePacket(p)
 		// Fall back to the base mesh: the CB NI and its interposer spoke
 		// inject in parallel, which is where the extra network's capacity
 		// pays off at the reply bottleneck.
-		pb := &noc.Packet{Type: typ, Src: src, Dst: tx.PE, Payload: tx}
-		return s.nets.base.TryInject(pb, s.nets.base.Now())
+		pb := s.newPacket(typ, src, tx.PE, 0, tx)
+		if s.nets.base.TryInject(pb, s.nets.base.Now()) {
+			return true
+		}
+		s.freePacket(pb)
+		return false
 	default:
-		p := &noc.Packet{Type: typ, Src: src, Dst: tx.PE, Payload: tx}
-		return s.nets.base.TryInject(p, s.nets.base.Now())
+		p := s.newPacket(typ, src, tx.PE, 0, tx)
+		if s.nets.base.TryInject(p, s.nets.base.Now()) {
+			return true
+		}
+		s.freePacket(p)
+		return false
 	}
 }
 
@@ -218,8 +263,14 @@ func (s *System) injectReply(bank int, tx *gpu.Transaction) bool {
 // under Interposer-CMesh a bank can receive from both the base mesh and the
 // CMesh in the same cycle.
 func (s *System) drainEjections() {
-	servedBank := make([]bool, len(s.banks))
+	servedBank := s.servedBank
+	for i := range servedBank {
+		servedBank[i] = false
+	}
 	drainTile := func(net *noc.Network) {
+		if net.DeliveredPending() == 0 {
+			return
+		}
 		for node := 0; node < net.Cfg.Nodes(); node++ {
 			// Replies and write acks drain freely into the PEs.
 			for budget := 4; budget > 0; budget-- {
@@ -235,6 +286,7 @@ func (s *System) drainEjections() {
 					pe.Complete(tx.Line)
 				}
 				net.PopDeliveredClass(node, noc.Reply)
+				s.freePacket(p)
 			}
 			// Requests: a CMesh node aggregates several tiles, so keep
 			// popping while the head requests hit distinct, unserved banks.
@@ -253,6 +305,7 @@ func (s *System) drainEjections() {
 				}
 				servedBank[bank] = true
 				net.PopDeliveredClass(node, noc.Request)
+				s.freePacket(p)
 			}
 		}
 	}

@@ -349,6 +349,42 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorThroughputProbed repeats the throughput measurement with
+// occupancy probes attached to every network at the default sampling period
+// (64 cycles). Compared against BenchmarkSimulatorThroughput (or a recorded
+// BENCH_*.json), it bounds the probes' overhead: sampling reads maintained
+// counters into preallocated arrays, so cycles/sec should stay within a few
+// percent of the unprobed run and allocs/op must not grow.
+func BenchmarkSimulatorThroughputProbed(b *testing.B) {
+	prof, err := workloads.ByName("hotspot")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scheme := range sim.AllSchemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			cfg := benchSchemeConfig(b, scheme)
+			var last, total int64
+			for i := 0; i < b.N; i++ {
+				sys, err := sim.NewSystem(cfg, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.AttachProbes(64)
+				res, err := sys.RunToCompletion()
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.ExecCycles
+				total += res.ExecCycles
+			}
+			b.ReportMetric(float64(last), "sim-cycles")
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(total)/s, "cycles/sec")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationPlacement isolates the §4.2 claim at system level:
 // EquiNox on the N-Queen placement versus the same EIR construction on the
 // Diamond placement.

@@ -31,9 +31,10 @@ type schemeResult struct {
 
 type report struct {
 	Date              string         `json:"date"`
-	GoVersion         string        `json:"go_version"`
+	GoVersion         string         `json:"go_version"`
 	Workload          string         `json:"workload"`
 	InstructionsPerPE int            `json:"instructions_per_pe"`
+	ProbeEvery        int64          `json:"probe_every,omitempty"`
 	Schemes           []schemeResult `json:"schemes"`
 	// Baseline optionally embeds a previous report's scheme results for
 	// side-by-side before/after records (see -baseline).
@@ -46,6 +47,8 @@ func main() {
 	workload := flag.String("workload", "hotspot", "workload profile to simulate")
 	instr := flag.Int("instructions", 300, "instructions per PE")
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to embed for comparison")
+	probeEvery := flag.Int64("probe-every", 0,
+		"attach occupancy probes sampling every N cycles (0 = no probes), to measure their overhead")
 	flag.Parse()
 
 	prof, err := workloads.ByName(*workload)
@@ -58,6 +61,7 @@ func main() {
 		GoVersion:         runtime.Version(),
 		Workload:          *workload,
 		InstructionsPerPE: *instr,
+		ProbeEvery:        *probeEvery,
 	}
 	for _, scheme := range sim.AllSchemes() {
 		cfg := sim.DefaultConfig(scheme)
@@ -81,7 +85,14 @@ func main() {
 			b.ReportAllocs()
 			var total int64
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(cfg, prof)
+				sys, err := sim.NewSystem(cfg, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if *probeEvery > 0 {
+					sys.AttachProbes(*probeEvery)
+				}
+				res, err := sys.RunToCompletion()
 				if err != nil {
 					b.Fatal(err)
 				}

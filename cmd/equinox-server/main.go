@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	equinox-server -addr :8080 -workers 2
+//	equinox-server -addr :8080 -workers 2 -log-level info -log-format text
 //
 //	curl -s localhost:8080/v1/jobs -d '{"benchmarks":["kmeans"],"schemes":["EquiNox","SeparateBase"]}'
 //	curl -s localhost:8080/v1/jobs/<id>
@@ -29,10 +29,12 @@ import (
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"equinox/internal/obs"
 	"equinox/internal/service"
 )
 
@@ -46,14 +48,23 @@ func main() {
 		cache   = flag.Int("cache", 0, "result cache entries (0 = default)")
 		queue   = flag.Int("queue", 0, "submission queue depth (0 = default)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		JobParallelism: *jobPar,
 		CacheEntries:   *cache,
 		QueueDepth:     *queue,
+		Logger:         logger,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())

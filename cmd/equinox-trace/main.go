@@ -3,10 +3,15 @@
 // that the averaged Figure 10 metrics cannot show, optionally dumping the
 // raw trace as CSV or JSON.
 //
+// With -heatmap it also probes router occupancy across the scheme's
+// networks and prints a per-router ASCII heat map — the paper's Figure 4
+// hot zone around the CBs, which EquiNox's injection routers disperse.
+//
 // Usage:
 //
 //	equinox-trace [-scheme EquiNox] [-bench kmeans] [-instr 600]
 //	              [-csv trace.csv] [-jsonout trace.json]
+//	              [-heatmap] [-heatmap-csv occ.csv] [-probe-every 64]
 package main
 
 import (
@@ -17,8 +22,10 @@ import (
 	"strings"
 
 	"equinox/internal/core"
+	"equinox/internal/noc"
 	"equinox/internal/sim"
 	"equinox/internal/trace"
+	"equinox/internal/viz"
 	"equinox/internal/workloads"
 )
 
@@ -32,6 +39,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		csvOut  = flag.String("csv", "", "write the reply trace as CSV to this file")
 		jsonOut = flag.String("jsonout", "", "write the reply trace as JSON to this file")
+
+		heatmap    = flag.Bool("heatmap", false, "print a per-router occupancy heat map across the scheme's networks")
+		heatmapCSV = flag.String("heatmap-csv", "", "write per-router probe data as CSV to this file")
+		probeEvery = flag.Int64("probe-every", 64, "probe sampling period in cycles (with -heatmap / -heatmap-csv)")
 	)
 	flag.Parse()
 
@@ -69,6 +80,13 @@ func main() {
 	for _, n := range sys.ReplyNetworks() {
 		rec.Attach(n)
 	}
+	// Probes cover every network of the scheme so occupancy is comparable
+	// across schemes regardless of how each splits traffic over meshes.
+	// They attach after the recorder: they chain its OnDeliver callback.
+	var probes []*noc.Probe
+	if *heatmap || *heatmapCSV != "" {
+		probes = sys.AttachProbes(*probeEvery)
+	}
 	res, err := sys.RunToCompletion()
 	if err != nil {
 		log.Fatal(err)
@@ -89,6 +107,32 @@ func main() {
 	}
 	fmt.Printf("  max latency:  %5d cycles over %d bins\n", h.Max, len(h.Counts))
 
+	if *heatmap {
+		heat := noc.CombineMeanOccupancy(probes)
+		title := fmt.Sprintf("%v NoC occupancy (buffered + NI-queued flits/router, sampled every %d cycles)",
+			res.Scheme, *probeEvery)
+		fmt.Print("\n", viz.ASCIIHeatmap(title, cfg.Width, cfg.Height, heat))
+		fmt.Printf("  hot-zone concentration (max/mean): %.2f\n", noc.MaxMeanRatio(heat))
+		fmt.Printf("  mean packet latency: %.1f cycles over %d deliveries\n",
+			meanLatency(probes), totalLatencyCount(probes))
+	}
+	if *heatmapCSV != "" {
+		f, err := os.Create(*heatmapCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		for i, p := range probes {
+			if i > 0 {
+				fmt.Fprintln(f)
+			}
+			fmt.Fprintf(f, "# network %d\n", i)
+			if err := p.WriteCSV(f); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println("wrote", *heatmapCSV)
+	}
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
@@ -111,4 +155,26 @@ func main() {
 		}
 		fmt.Println("wrote", *jsonOut)
 	}
+}
+
+// meanLatency is the delivery-weighted mean over all probes.
+func meanLatency(probes []*noc.Probe) float64 {
+	var sum, count float64
+	for _, p := range probes {
+		n := float64(p.LatencyCount())
+		sum += p.MeanLatency() * n
+		count += n
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}
+
+func totalLatencyCount(probes []*noc.Probe) int64 {
+	var n int64
+	for _, p := range probes {
+		n += p.LatencyCount()
+	}
+	return n
 }

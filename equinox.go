@@ -104,8 +104,14 @@ func Benchmarks() []string {
 // DesignForMesh builds (or reuses) an EquiNox design sized for a mesh,
 // using the fast greedy search — the right default for large sweeps.
 func DesignForMesh(w, h, numCBs int) (*core.Design, error) {
+	return DesignForMeshContext(context.Background(), w, h, numCBs)
+}
+
+// DesignForMeshContext is DesignForMesh with the design-flow steps reported
+// as phase spans into the context's obs.Recorder (if any).
+func DesignForMeshContext(ctx context.Context, w, h, numCBs int) (*core.Design, error) {
 	cfg := core.DefaultDesignConfig()
 	cfg.Width, cfg.Height, cfg.NumCBs = w, h, numCBs
 	cfg.Search = core.SearchGreedyTwoHop
-	return core.BuildDesign(cfg)
+	return core.BuildDesignContext(ctx, cfg)
 }

@@ -8,6 +8,7 @@ import (
 
 	"equinox/internal/core"
 	"equinox/internal/geom"
+	"equinox/internal/obs"
 	"equinox/internal/sim"
 )
 
@@ -54,6 +55,9 @@ type ExportedEvaluation struct {
 	Design                *ExportedDesign `json:"design,omitempty"`
 	Runs                  []ExportedRun   `json:"runs"`
 	Errors                []string        `json:"errors,omitempty"`
+	// Phases carries the sweep's aggregated phase timings (placement, MCTS,
+	// simulation); summed across parallel workers.
+	Phases []obs.Phase `json:"phases,omitempty"`
 }
 
 // exportRun converts a sim.Result.
@@ -135,6 +139,7 @@ func (ev *Evaluation) WriteJSON(w io.Writer) error {
 	out := ExportedEvaluation{
 		Mesh:   fmt.Sprintf("%dx%d/%dCB", ev.Config.Width, ev.Config.Height, ev.Config.NumCBs),
 		Design: ExportDesign(ev.Design),
+		Phases: ev.Phases,
 	}
 	for _, s := range ev.Schemes {
 		for _, b := range ev.Benches {

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"equinox/internal/core"
+	"equinox/internal/obs"
 	"equinox/internal/sim"
 	"equinox/internal/stats"
 )
@@ -51,6 +52,10 @@ type Evaluation struct {
 	Results map[sim.SchemeKind]map[string]sim.Result
 	// Errors collects failed runs (timeouts) without aborting the sweep.
 	Errors []error
+	// Phases aggregates the sweep's pipeline phase timings (placement, MCTS
+	// search, simulation). Under parallelism the summed durations can exceed
+	// wall-clock time.
+	Phases []obs.Phase
 }
 
 // RunEvaluation executes the sweep, parallelizing independent simulations.
@@ -69,6 +74,13 @@ func RunEvaluationContext(ctx context.Context, cfg EvalConfig) (*Evaluation, err
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Phase spans from the design flow and every simulation accumulate in a
+	// recorder; reuse the caller's if one is already on the context.
+	rec := obs.RecorderFrom(ctx)
+	if rec == nil {
+		rec = obs.NewRecorder()
+		ctx = obs.WithRecorder(ctx, rec)
+	}
 	schemes := cfg.Schemes
 	benches := cfg.Benchmarks
 	design := cfg.Design
@@ -80,7 +92,7 @@ func RunEvaluationContext(ctx context.Context, cfg EvalConfig) (*Evaluation, err
 	}
 	if needEquiNox && design == nil {
 		var err error
-		design, err = DesignForMesh(cfg.Width, cfg.Height, cfg.NumCBs)
+		design, err = DesignForMeshContext(ctx, cfg.Width, cfg.Height, cfg.NumCBs)
 		if err != nil {
 			return nil, err
 		}
@@ -159,6 +171,7 @@ dispatch:
 	}
 	wg.Wait()
 	sort.Slice(ev.Errors, func(i, k int) bool { return ev.Errors[i].Error() < ev.Errors[k].Error() })
+	ev.Phases = rec.Phases()
 	if err := ctx.Err(); err != nil {
 		return ev, err
 	}

@@ -159,3 +159,45 @@ func TestRunBenchmarkCancellation(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestEvaluationPhases: the sweep reports aggregated phase spans — one sim
+// span per completed run, plus the design-flow phases when an EquiNox design
+// is built — and they survive JSON export.
+func TestEvaluationPhases(t *testing.T) {
+	ev, err := RunEvaluation(EvalConfig{
+		Width: 8, Height: 8, NumCBs: 8,
+		Schemes:           []sim.SchemeKind{sim.SingleBase, sim.EquiNox},
+		Benchmarks:        []string{"kmeans", "hotspot"},
+		InstructionsPerPE: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int64{}
+	for _, p := range ev.Phases {
+		if p.NS < 0 || p.Count <= 0 {
+			t.Errorf("phase %+v has non-positive totals", p)
+		}
+		byName[p.Name] = p.Count
+	}
+	if got := byName["sim"]; got != 4 {
+		t.Errorf("sim phase count = %d, want 4 (2 schemes x 2 benchmarks): %+v", got, ev.Phases)
+	}
+	for _, name := range []string{"placement", "mcts"} {
+		if byName[name] != 1 {
+			t.Errorf("%s phase count = %d, want 1 (one design build): %+v", name, byName[name], ev.Phases)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := ev.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var exported ExportedEvaluation
+	if err := json.Unmarshal(buf.Bytes(), &exported); err != nil {
+		t.Fatal(err)
+	}
+	if len(exported.Phases) != len(ev.Phases) {
+		t.Errorf("exported %d phases, want %d", len(exported.Phases), len(ev.Phases))
+	}
+}

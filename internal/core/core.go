@@ -7,11 +7,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"equinox/internal/geom"
 	"equinox/internal/interposer"
 	"equinox/internal/mcts"
+	"equinox/internal/obs"
 	"equinox/internal/placement"
 )
 
@@ -88,6 +90,12 @@ type Design struct {
 
 // BuildDesign runs the full §4 flow.
 func BuildDesign(cfg DesignConfig) (*Design, error) {
+	return BuildDesignContext(context.Background(), cfg)
+}
+
+// BuildDesignContext is BuildDesign with the placement and EIR-search steps
+// reported as phase spans into the context's obs.Recorder (if any).
+func BuildDesignContext(ctx context.Context, cfg DesignConfig) (*Design, error) {
 	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.NumCBs <= 0 {
 		return nil, fmt.Errorf("core: invalid design config %+v", cfg)
 	}
@@ -105,7 +113,9 @@ func BuildDesign(cfg DesignConfig) (*Design, error) {
 	if cfg.NumCBs > side {
 		kind = placement.KnightMove
 	}
+	plSpan := obs.Span(ctx, "placement")
 	pl, err := placement.New(kind, cfg.Width, cfg.Height, cfg.NumCBs)
+	plSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: placement: %w", err)
 	}
@@ -128,6 +138,7 @@ func BuildDesign(cfg DesignConfig) (*Design, error) {
 	if (prob.Weights == mcts.EvalWeights{}) {
 		prob.Weights = mcts.DefaultWeights()
 	}
+	searchSpan := obs.Span(ctx, "mcts")
 	var res mcts.Result
 	switch cfg.Search {
 	case SearchGreedyTwoHop:
@@ -141,6 +152,7 @@ func BuildDesign(cfg DesignConfig) (*Design, error) {
 	default:
 		res, err = mcts.Search(prob, cfg.MCTS)
 	}
+	searchSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: EIR search: %w", err)
 	}

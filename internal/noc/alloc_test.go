@@ -69,7 +69,9 @@ func checkSteadyStateAllocs(t *testing.T, h *allocHarness) {
 // TestStepDoesNotAllocate locks in the zero-allocation hot loop: a warmed-up
 // network must step, route, and deliver recycled packets without producing
 // any garbage, for both a SingleBase-style shared network and an EquiNox
-// network with EIR injection.
+// network with EIR injection. Both networks run with a Probe attached (at a
+// sampling period that fires during the measured window), pinning that
+// observability stays free in the steady state.
 func TestStepDoesNotAllocate(t *testing.T) {
 	t.Run("SingleBase", func(t *testing.T) {
 		cfg := DefaultConfig("single", 8, 8)
@@ -79,6 +81,7 @@ func TestStepDoesNotAllocate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		n.AttachProbe(16)
 		// Crossing request traffic between opposite corners plus a hotspot.
 		pairs := [][2]int{{0, 63}, {63, 0}, {7, 56}, {56, 7}, {1, 27}, {62, 27}}
 		h := newAllocHarness(t, n, ReadRequest, pairs, 6)
@@ -97,6 +100,7 @@ func TestStepDoesNotAllocate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		n.AttachProbe(16)
 		// Reply traffic fanning out from the CBs through their EIRs, the
 		// pattern the EquiNox NI exists for.
 		w := cfg.Width

@@ -53,6 +53,10 @@ type Network struct {
 
 	Stats Stats
 
+	// probe, when attached, samples occupancy and link state every
+	// probe.Every cycles; nil costs one pointer compare per Step.
+	probe *Probe
+
 	// OnDeliver, when non-nil, is invoked for every packet as its tail flit
 	// ejects (before the packet enters the delivery queue). Used by the
 	// trace package; must not retain the packet's payload beyond the call.
@@ -69,6 +73,10 @@ type injector interface {
 	step(now int64)
 	// pending reports whether the NI still holds any packet or flits.
 	pending() bool
+	// backlog adds the NI's held flits (queued packets plus unsent streaming
+	// remainders) into per, indexed by the ID of the router the flits are
+	// waiting to enter. Called from Probe.sample; must not allocate.
+	backlog(per []int64)
 }
 
 // New builds a network from a configuration.
@@ -77,7 +85,7 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{Cfg: cfg, ejectCap: 2, allocStride: cfg.VCsPerPort}
-	n.Stats.init(cfg)
+	n.Stats.init()
 	n.initClassVCs()
 
 	// Routers.
@@ -377,6 +385,9 @@ func (n *Network) Step() {
 	if moved > 0 {
 		n.lastProgress = now
 	}
+	if n.probe != nil && now%n.probe.Every == 0 {
+		n.probe.sample(n)
+	}
 	n.pruneActive()
 	n.Stats.cycles++
 	n.now++
@@ -520,6 +531,19 @@ func (ni *standardNI) queueSpace() int {
 
 func (ni *standardNI) pending() bool {
 	return len(ni.queues[Request]) > 0 || len(ni.queues[Reply]) > 0 || ni.cur != nil
+}
+
+func (ni *standardNI) backlog(per []int64) {
+	var f int64
+	for _, q := range ni.queues {
+		for _, p := range q {
+			f += int64(p.Flits)
+		}
+	}
+	if ni.cur != nil {
+		f += int64(len(ni.flits) - ni.sent)
+	}
+	per[ni.r.id] += f
 }
 
 // injectVC picks the input VC at the router's injection port with the most

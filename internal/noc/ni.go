@@ -27,6 +27,14 @@ type injBuffer struct {
 
 func (b *injBuffer) busy() bool { return b.pkt != nil }
 
+// remaining is the number of loaded flits not yet streamed into the router.
+func (b *injBuffer) remaining() int64 {
+	if b.pkt == nil {
+		return 0
+	}
+	return int64(len(b.flits) - b.sent)
+}
+
 // load assigns a packet to the buffer. The VC is chosen at the first stream
 // attempt so a briefly full router buffer does not drop the assignment.
 func (b *injBuffer) load(n *Network, p *Packet) {
@@ -132,6 +140,23 @@ func (ni *equiNoxNI) pending() bool {
 		}
 	}
 	return false
+}
+
+// backlog attributes the undispatched queue and the local buffer to the CB
+// router, and each direction buffer's remainder to its EIR router — that is
+// where those flits physically wait, and the dispersal the probe measures.
+func (ni *equiNoxNI) backlog(per []int64) {
+	var f int64
+	for _, p := range ni.queue {
+		f += int64(p.Flits)
+	}
+	f += ni.local.remaining()
+	per[ni.r.id] += f
+	for _, b := range ni.dir {
+		if b != nil {
+			per[b.r.id] += b.remaining()
+		}
+	}
 }
 
 // shortestPathBuffer returns the EIR buffer for direction d if that EIR lies
@@ -287,6 +312,20 @@ func (ni *multiPortNI) pending() bool {
 		}
 	}
 	return false
+}
+
+// backlog: every multi-port buffer feeds the same CB router.
+func (ni *multiPortNI) backlog(per []int64) {
+	var f int64
+	for _, q := range ni.queues {
+		for _, p := range q {
+			f += int64(p.Flits)
+		}
+	}
+	for _, b := range ni.bufs {
+		f += b.remaining()
+	}
+	per[ni.r.id] += f
 }
 
 // busyOf counts buffers currently streaming packets of a class (a method,

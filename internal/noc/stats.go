@@ -20,7 +20,7 @@ type Stats struct {
 	InterposerFlits int64 // flits over interposer wires (EIR injection links)
 }
 
-func (s *Stats) init(cfg Config) { *s = Stats{} }
+func (s *Stats) init() { *s = Stats{} }
 
 func (s *Stats) packetInjected(p *Packet, flitBytes int) {
 	c := ClassOf(p.Type)

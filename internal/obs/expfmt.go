@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-exposition document against
+// the subset this registry emits, line by line:
+//
+//   - every family opens with `# HELP <name> <text>` immediately followed
+//     by `# TYPE <name> counter|gauge|histogram`;
+//   - every sample line belongs to the most recently opened family
+//     (histograms via the _bucket/_sum/_count suffixes) and carries a
+//     parseable value;
+//   - histogram children end with an `le="+Inf"` bucket whose cumulative
+//     count equals their `_count`, and bucket counts never decrease.
+//
+// Tests use it to reject malformed /v1/metrics output.
+func ValidateExposition(data string) error {
+	lines := strings.Split(data, "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1] // trailing newline
+	}
+
+	var (
+		curName     string
+		curType     MetricType
+		seen        = map[string]bool{}
+		pendingHelp string
+		// histogram child state, keyed by label string without le
+		lastBucket map[string]int64
+		infCount   map[string]int64
+		sumSeen    map[string]bool
+		countVal   map[string]int64
+	)
+	resetHist := func() {
+		lastBucket = map[string]int64{}
+		infCount = map[string]int64{}
+		sumSeen = map[string]bool{}
+		countVal = map[string]int64{}
+	}
+	closeHist := func() error {
+		if curType != TypeHistogram {
+			return nil
+		}
+		for key, n := range countVal {
+			inf, ok := infCount[key]
+			if !ok {
+				return fmt.Errorf("histogram %s%s missing le=\"+Inf\" bucket", curName, key)
+			}
+			if inf != n {
+				return fmt.Errorf("histogram %s%s: +Inf bucket %d != count %d", curName, key, inf, n)
+			}
+			if !sumSeen[key] {
+				return fmt.Errorf("histogram %s%s missing _sum", curName, key)
+			}
+		}
+		for key := range infCount {
+			if _, ok := countVal[key]; !ok {
+				return fmt.Errorf("histogram %s%s missing _count", curName, key)
+			}
+		}
+		return nil
+	}
+
+	for i, line := range lines {
+		where := func() string { return fmt.Sprintf("line %d (%q)", i+1, line) }
+		switch {
+		case line == "":
+			return fmt.Errorf("%s: blank line", where())
+
+		case strings.HasPrefix(line, "# HELP "):
+			if pendingHelp != "" {
+				return fmt.Errorf("%s: HELP not followed by TYPE", where())
+			}
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return fmt.Errorf("%s: malformed HELP", where())
+			}
+			if seen[name] {
+				return fmt.Errorf("%s: duplicate family %s", where(), name)
+			}
+			pendingHelp = name
+
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !validName(fields[0]) {
+				return fmt.Errorf("%s: malformed TYPE", where())
+			}
+			if pendingHelp == "" {
+				return fmt.Errorf("%s: TYPE without preceding HELP", where())
+			}
+			if fields[0] != pendingHelp {
+				return fmt.Errorf("%s: TYPE name %s does not match HELP name %s", where(), fields[0], pendingHelp)
+			}
+			typ := MetricType(fields[1])
+			if typ != TypeCounter && typ != TypeGauge && typ != TypeHistogram {
+				return fmt.Errorf("%s: unknown metric type %q", where(), fields[1])
+			}
+			if err := closeHist(); err != nil {
+				return err
+			}
+			curName, curType = fields[0], typ
+			seen[curName] = true
+			pendingHelp = ""
+			resetHist()
+
+		case strings.HasPrefix(line, "#"):
+			return fmt.Errorf("%s: unexpected comment", where())
+
+		default:
+			if pendingHelp != "" {
+				return fmt.Errorf("%s: sample between HELP and TYPE", where())
+			}
+			if curName == "" {
+				return fmt.Errorf("%s: sample before any TYPE block", where())
+			}
+			if err := validateSample(line, curName, curType, lastBucket, infCount, sumSeen, countVal); err != nil {
+				return fmt.Errorf("%s: %w", where(), err)
+			}
+		}
+	}
+	if pendingHelp != "" {
+		return fmt.Errorf("document ends after HELP %s without TYPE", pendingHelp)
+	}
+	return closeHist()
+}
+
+// validateSample checks one sample line against the open family.
+func validateSample(line, fam string, typ MetricType,
+	lastBucket, infCount map[string]int64, sumSeen map[string]bool, countVal map[string]int64) error {
+
+	// Split "name{labels} value" / "name value".
+	var name, labels, valStr string
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return fmt.Errorf("unbalanced label braces")
+		}
+		name, labels = line[:i], line[i:j+1]
+		valStr = strings.TrimSpace(line[j+1:])
+	} else {
+		var ok bool
+		name, valStr, ok = strings.Cut(line, " ")
+		if !ok {
+			return fmt.Errorf("sample has no value")
+		}
+	}
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return fmt.Errorf("unparseable value %q", valStr)
+	}
+
+	switch typ {
+	case TypeCounter:
+		if name != fam {
+			return fmt.Errorf("sample %s outside family %s", name, fam)
+		}
+		if val < 0 {
+			return fmt.Errorf("negative counter %s", name)
+		}
+	case TypeGauge:
+		if name != fam {
+			return fmt.Errorf("sample %s outside family %s", name, fam)
+		}
+	case TypeHistogram:
+		key, le, hasLE := splitLE(labels)
+		switch name {
+		case fam + "_bucket":
+			if !hasLE {
+				return fmt.Errorf("bucket without le label")
+			}
+			n := int64(val)
+			if le == "+Inf" {
+				infCount[key] = n
+			} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("unparseable le %q", le)
+			}
+			if n < lastBucket[key] {
+				return fmt.Errorf("bucket counts decrease at le=%q", le)
+			}
+			lastBucket[key] = n
+		case fam + "_sum":
+			sumSeen[key] = true
+		case fam + "_count":
+			countVal[key] = int64(val)
+		default:
+			return fmt.Errorf("sample %s outside histogram family %s", name, fam)
+		}
+	}
+	return nil
+}
+
+// splitLE removes the le label pair from a rendered label string, returning
+// the remaining labels (the child key) and the le value.
+func splitLE(labels string) (key, le string, ok bool) {
+	if labels == "" {
+		return "", "", false
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var rest []string
+	for _, pair := range strings.Split(inner, ",") {
+		if v, found := strings.CutPrefix(pair, `le="`); found {
+			le = strings.TrimSuffix(v, `"`)
+			ok = true
+			continue
+		}
+		rest = append(rest, pair)
+	}
+	if len(rest) == 0 {
+		return "", le, ok
+	}
+	return "{" + strings.Join(rest, ",") + "}", le, ok
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the request-latency histogram bounds in
+// seconds, spanning fast cache hits to multi-minute evaluation polls.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30, 120}
+}
+
+// HTTPMetrics is the standard server-side HTTP instrument set.
+type HTTPMetrics struct {
+	requests *CounterVec   // route, method, code
+	latency  *HistogramVec // route
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP metric families under a name prefix
+// (e.g. "equinox" → equinox_http_requests_total, …).
+func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.CounterVec(prefix+"_http_requests_total",
+			"HTTP requests served, by route, method, and status code.",
+			"route", "method", "code"),
+		latency: reg.HistogramVec(prefix+"_http_request_seconds",
+			"HTTP request latency in seconds, by route.",
+			DefaultLatencyBuckets(), "route"),
+		inflight: reg.Gauge(prefix+"_http_inflight",
+			"HTTP requests currently being served."),
+	}
+}
+
+// statusWriter captures the response status code.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer when it streams.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Request-ID generation: a per-process random prefix plus a sequence
+// number, cheap and unique enough to correlate one log stream.
+var (
+	ridPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Int64
+)
+
+func nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", ridPrefix, ridSeq.Add(1))
+}
+
+// RequestIDHeader is the header request IDs are read from and echoed on.
+const RequestIDHeader = "X-Request-Id"
+
+// Middleware instruments an HTTP handler: per-route request counters and
+// latency histograms, an in-flight gauge, request IDs echoed in the
+// response (honoring an incoming X-Request-Id), and one structured access
+// log line per request. route maps a request to a bounded label value
+// (never the raw path — unbounded label cardinality would leak memory).
+func Middleware(next http.Handler, m *HTTPMetrics, logger *slog.Logger, route func(*http.Request) string) http.Handler {
+	if logger == nil {
+		logger = NopLogger()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(RequestIDHeader)
+		if rid == "" {
+			rid = nextRequestID()
+		}
+		w.Header().Set(RequestIDHeader, rid)
+
+		m.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		m.inflight.Add(-1)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		rt := route(r)
+		m.latency.With(rt).Observe(elapsed.Seconds())
+		m.requests.With(rt, r.Method, fmt.Sprintf("%d", sw.status)).Inc()
+		logger.Info("http request",
+			"requestId", rid,
+			"method", r.Method,
+			"route", rt,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"durationMs", float64(elapsed.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

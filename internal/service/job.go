@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"log/slog"
 	"sync/atomic"
 	"time"
 )
@@ -41,6 +42,11 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// log is the job-scoped logger, pre-bound with the job ID (the spec
+	// hash), schemes, and benchmark count; every lifecycle transition logs
+	// through it.
+	log *slog.Logger
 
 	doneRuns  atomic.Int64
 	totalRuns int

@@ -1,38 +1,66 @@
 package service
 
 import (
-	"fmt"
-	"io"
-	"sync/atomic"
+	"equinox/internal/obs"
 )
 
-// metrics are the server's monotonic counters and live gauges, exported in
-// the plain "name value" text format at GET /v1/metrics.
+// metrics are the server's instruments, registered on one obs.Registry and
+// exported as Prometheus text exposition at GET /v1/metrics. Counter and
+// gauge names predate the registry and are kept stable for scrapers.
 type metrics struct {
-	jobsSubmitted atomic.Int64 // accepted and enqueued for execution
-	jobsDeduped   atomic.Int64 // submissions coalesced onto an in-flight job
-	jobsCompleted atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsCancelled atomic.Int64
+	reg  *obs.Registry
+	http *obs.HTTPMetrics
 
-	cacheHits   atomic.Int64 // submissions answered from the result cache
-	cacheMisses atomic.Int64 // submissions that had to simulate
+	jobsSubmitted *obs.Counter // accepted and enqueued for execution
+	jobsDeduped   *obs.Counter // submissions coalesced onto an in-flight job
+	jobsCompleted *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCancelled *obs.Counter
 
-	workersBusy atomic.Int64
+	cacheHits   *obs.Counter // submissions answered from the result cache
+	cacheMisses *obs.Counter // submissions that had to simulate
+
+	workersBusy *obs.Gauge
+
+	// queueWait tracks how long jobs sat queued before a worker picked them
+	// up, in seconds.
+	queueWait obs.BoundHistogram
 }
 
-// write renders the counters plus the gauges the server passes in.
-func (m *metrics) write(w io.Writer, workers, queueDepth, cacheLen int) {
-	p := func(name string, v int64) { fmt.Fprintf(w, "%s %d\n", name, v) }
-	p("equinox_jobs_submitted_total", m.jobsSubmitted.Load())
-	p("equinox_jobs_deduped_total", m.jobsDeduped.Load())
-	p("equinox_jobs_completed_total", m.jobsCompleted.Load())
-	p("equinox_jobs_failed_total", m.jobsFailed.Load())
-	p("equinox_jobs_cancelled_total", m.jobsCancelled.Load())
-	p("equinox_cache_hits_total", m.cacheHits.Load())
-	p("equinox_cache_misses_total", m.cacheMisses.Load())
-	p("equinox_cache_entries", int64(cacheLen))
-	p("equinox_workers", int64(workers))
-	p("equinox_workers_busy", m.workersBusy.Load())
-	p("equinox_queue_depth", int64(queueDepth))
+// newMetrics builds the registry. The workers / queue-depth / cache-entries
+// gauges are scrape-time callbacks supplied by the server, replacing the
+// values it used to thread into an ad-hoc text writer.
+func newMetrics(workers func() float64, queueDepth func() float64, cacheEntries func() float64) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:  reg,
+		http: obs.NewHTTPMetrics(reg, "equinox"),
+
+		jobsSubmitted: reg.Counter("equinox_jobs_submitted_total",
+			"Jobs accepted and enqueued for execution."),
+		jobsDeduped: reg.Counter("equinox_jobs_deduped_total",
+			"Submissions coalesced onto an already queued or running job."),
+		jobsCompleted: reg.Counter("equinox_jobs_completed_total",
+			"Jobs that finished successfully."),
+		jobsFailed: reg.Counter("equinox_jobs_failed_total",
+			"Jobs that finished with an error."),
+		jobsCancelled: reg.Counter("equinox_jobs_cancelled_total",
+			"Jobs cancelled while queued or running."),
+
+		cacheHits: reg.Counter("equinox_cache_hits_total",
+			"Submissions answered from the content-addressed result cache."),
+		cacheMisses: reg.Counter("equinox_cache_misses_total",
+			"Submissions that had to run simulations."),
+
+		workersBusy: reg.Gauge("equinox_workers_busy",
+			"Workers currently executing a job."),
+
+		queueWait: reg.Histogram("equinox_job_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.",
+			obs.DefaultLatencyBuckets()),
+	}
+	reg.GaugeFunc("equinox_workers", "Size of the evaluation worker pool.", workers)
+	reg.GaugeFunc("equinox_queue_depth", "Jobs waiting in the submission queue.", queueDepth)
+	reg.GaugeFunc("equinox_cache_entries", "Entries in the result cache.", cacheEntries)
+	return m
 }

@@ -8,12 +8,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"equinox"
+	"equinox/internal/obs"
 )
 
 // Config sizes the server.
@@ -29,6 +32,9 @@ type Config struct {
 	// QueueDepth bounds the submission queue; submissions beyond it are
 	// rejected with 503 (default 256).
 	QueueDepth int
+	// Logger receives structured access and job-lifecycle logs; nil discards
+	// them (the right default for embedded and test servers).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -60,7 +66,8 @@ type Server struct {
 	baseCancel context.CancelFunc
 
 	queue chan *job
-	met   metrics
+	met   *metrics
+	log   *slog.Logger
 
 	mu     sync.Mutex
 	closed bool
@@ -81,7 +88,20 @@ func New(cfg Config) *Server {
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       map[string]*job{},
 		cache:      NewCache(cfg.CacheEntries),
+		log:        cfg.Logger,
 	}
+	if s.log == nil {
+		s.log = obs.NopLogger()
+	}
+	s.met = newMetrics(
+		func() float64 { return float64(cfg.Workers) },
+		func() float64 { return float64(len(s.queue)) },
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.cache.Len())
+		},
+	)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -129,9 +149,12 @@ func (s *Server) run(j *job) {
 	}
 	j.state = JobRunning
 	j.started = time.Now()
+	queueWait := j.started.Sub(j.submitted)
 	ctx := j.ctx
 	cfg, err := j.spec.evalConfig()
 	s.mu.Unlock()
+	s.met.queueWait.Observe(queueWait.Seconds())
+	j.log.Info("job started", "state", JobRunning, "queueWaitMs", durMS(queueWait))
 	if err != nil {
 		// Canonicalization already validated the spec; this is a backstop.
 		s.finish(j, nil, err)
@@ -145,6 +168,9 @@ func (s *Server) run(j *job) {
 	s.finish(j, ev, err)
 }
 
+// durMS renders a duration as fractional milliseconds for log fields.
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
 // finish records a job's outcome and, on success, stores its result in the
 // cache, dropping the bookkeeping of any entries the insert evicted.
 func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
@@ -156,6 +182,9 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 			j.state = JobCancelled
 			j.finished = now
 			s.met.jobsCancelled.Add(1)
+			s.mu.Unlock()
+			j.log.Info("job cancelled", "state", JobCancelled, "runMs", durMS(now.Sub(j.started)))
+			return
 		}
 		s.mu.Unlock()
 	case err != nil:
@@ -165,6 +194,7 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 		j.finished = now
 		s.mu.Unlock()
 		s.met.jobsFailed.Add(1)
+		j.log.Error("job failed", "state", JobFailed, "error", err.Error(), "runMs", durMS(now.Sub(j.started)))
 	default:
 		var buf bytes.Buffer
 		werr := ev.WriteJSON(&buf)
@@ -175,6 +205,9 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 			j.errMsg = werr.Error()
 			j.finished = now
 			s.met.jobsFailed.Add(1)
+			s.mu.Unlock()
+			j.log.Error("job failed", "state", JobFailed, "error", werr.Error(), "runMs", durMS(now.Sub(j.started)))
+			return
 		case j.state == JobCancelled:
 			// DELETE raced with completion; honor the cancellation.
 		default:
@@ -184,6 +217,10 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 				delete(s.jobs, k)
 			}
 			s.met.jobsCompleted.Add(1)
+			s.mu.Unlock()
+			j.log.Info("job completed", "state", JobDone,
+				"runMs", durMS(now.Sub(j.started)), "resultBytes", buf.Len())
+			return
 		}
 		s.mu.Unlock()
 	}
@@ -206,7 +243,26 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return obs.Middleware(mux, s.met.http, s.log, routeOf)
+}
+
+// routeOf maps a request to its route label. Label values must stay bounded
+// (job IDs are stripped; unknown paths collapse to "other") or the per-route
+// metric families would grow without limit.
+func routeOf(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/jobs":
+		return "/v1/jobs"
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		return "/v1/jobs/{id}"
+	case p == "/v1/metrics":
+		return "/v1/metrics"
+	case p == "/v1/healthz":
+		return "/v1/healthz"
+	default:
+		return "other"
+	}
 }
 
 // SubmitResponse is the wire form of a submission's outcome.
@@ -251,6 +307,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				s.met.cacheHits.Add(1)
 				resp := SubmitResponse{ID: key, Status: JobDone, Cached: true, Runs: j.totalRuns}
 				s.mu.Unlock()
+				j.log.Info("job cache hit", "state", JobDone, "cache", "hit")
 				writeJSON(w, http.StatusOK, resp)
 				return
 			}
@@ -259,6 +316,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.met.jobsDeduped.Add(1)
 			resp := SubmitResponse{ID: key, Status: j.state, Runs: j.totalRuns}
 			s.mu.Unlock()
+			j.log.Info("job deduped", "state", resp.Status)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -277,6 +335,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.met.cacheMisses.Add(1)
 	resp := SubmitResponse{ID: key, Status: JobQueued, Runs: j.totalRuns}
 	s.mu.Unlock()
+	j.log.Info("job submitted", "state", JobQueued, "cache", "miss", "runs", j.totalRuns)
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
@@ -291,6 +350,10 @@ func (s *Server) newJobLocked(key string, canon JobSpec) *job {
 		ctx:       ctx,
 		cancel:    cancel,
 		totalRuns: canon.Runs(),
+		log: s.log.With(
+			"jobId", key,
+			"schemes", strings.Join(canon.Schemes, ","),
+			"benchmarks", len(canon.Benchmarks)),
 	}
 	s.jobs[key] = j
 	return j
@@ -336,6 +399,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.state = JobCancelled
 		j.finished = time.Now()
 		s.met.jobsCancelled.Add(1)
+		defer j.log.Info("job cancelled", "state", JobCancelled, "via", "delete")
 	}
 	st := j.status()
 	s.mu.Unlock()
@@ -343,11 +407,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	cacheLen := s.cache.Len()
-	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.met.write(w, s.cfg.Workers, len(s.queue), cacheLen)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.reg.WritePrometheus(w)
 }
 
 // keyOf hashes an already-canonical spec (see JobSpec.Key).

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -12,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"equinox/internal/obs"
 )
 
 // smallSpec is a sub-second sweep: one scheme, one benchmark, a small mesh.
@@ -111,15 +114,19 @@ func getMetrics(t *testing.T, ts *httptest.Server) map[string]int64 {
 	out := map[string]int64{}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
 		if len(fields) != 2 {
 			continue
 		}
-		v, err := strconv.ParseInt(fields[1], 10, 64)
+		v, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
-			t.Fatalf("bad metric line %q", sc.Text())
+			t.Fatalf("bad metric line %q", line)
 		}
-		out[fields[0]] = v
+		out[fields[0]] = int64(v)
 	}
 	return out
 }
@@ -397,4 +404,175 @@ func TestShutdownDeadlineCancels(t *testing.T) {
 	if st.Status != JobCancelled {
 		t.Errorf("job after deadline shutdown: %+v, want cancelled", st)
 	}
+}
+
+// TestMetricsPrometheusExposition: /v1/metrics must be valid Prometheus text
+// exposition — every family opens with well-formed # HELP/# TYPE lines, all
+// legacy equinox_* names survive the registry migration, and the HTTP
+// middleware's latency histogram and in-flight gauge appear after traffic.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	sub, code := submit(t, ts, smallSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitFor(t, "job done", func() bool {
+		st, _ := getJob(t, ts, sub.ID)
+		return st.Status.Finished()
+	})
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/v1/metrics is not valid exposition: %v\n%s", err, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+
+	// Every pre-registry metric name must still be present, each with its
+	// HELP/TYPE block.
+	for _, name := range []string{
+		"equinox_jobs_submitted_total",
+		"equinox_jobs_deduped_total",
+		"equinox_jobs_completed_total",
+		"equinox_jobs_failed_total",
+		"equinox_jobs_cancelled_total",
+		"equinox_cache_hits_total",
+		"equinox_cache_misses_total",
+		"equinox_cache_entries",
+		"equinox_workers",
+		"equinox_workers_busy",
+		"equinox_queue_depth",
+	} {
+		if !strings.Contains(body, "# HELP "+name+" ") {
+			t.Errorf("missing # HELP for %s", name)
+		}
+		if !strings.Contains(body, "# TYPE "+name+" ") {
+			t.Errorf("missing # TYPE for %s", name)
+		}
+	}
+
+	// The submit + polls above were real traffic through the middleware: the
+	// request-latency histogram and in-flight gauge must show it. This GET
+	// of /v1/metrics itself is in flight while the registry renders.
+	for _, want := range []string{
+		`equinox_http_requests_total{route="/v1/jobs",method="POST",code="202"} 1`,
+		`equinox_http_request_seconds_count{route="/v1/jobs"} 1`,
+		`equinox_http_request_seconds_bucket{route="/v1/jobs",le="+Inf"} 1`,
+		"equinox_http_inflight 1",
+		`equinox_job_queue_wait_seconds_count 1`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+
+	m := getMetrics(t, ts)
+	if m["equinox_workers"] != 1 || m["equinox_jobs_completed_total"] != 1 {
+		t.Errorf("workers=%d completed=%d, want 1/1", m["equinox_workers"], m["equinox_jobs_completed_total"])
+	}
+}
+
+// TestJobLifecycleLogs: each job state transition emits one structured log
+// line carrying the job-scoped attributes, the cache disposition, and the
+// queue wait.
+func TestJobLifecycleLogs(t *testing.T) {
+	var buf syncBuffer
+	logger, err := obs.NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Logger: logger})
+
+	sub, _ := submit(t, ts, smallSpec())
+	waitFor(t, "job done", func() bool {
+		st, _ := getJob(t, ts, sub.ID)
+		return st.Status.Finished()
+	})
+	if again, _ := submit(t, ts, smallSpec()); !again.Cached {
+		t.Fatalf("resubmit not cached: %+v", again)
+	}
+
+	type line struct {
+		Msg        string  `json:"msg"`
+		JobID      string  `json:"jobId"`
+		State      string  `json:"state"`
+		Cache      string  `json:"cache"`
+		Schemes    string  `json:"schemes"`
+		Benchmarks int     `json:"benchmarks"`
+		QueueWait  float64 `json:"queueWaitMs"`
+		RunMS      float64 `json:"runMs"`
+	}
+	events := map[string]line{}
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", raw, err)
+		}
+		if strings.HasPrefix(l.Msg, "job ") {
+			events[l.Msg] = l
+		}
+	}
+	for msg, wantState := range map[string]string{
+		"job submitted": "queued",
+		"job started":   "running",
+		"job completed": "done",
+		"job cache hit": "done",
+	} {
+		l, ok := events[msg]
+		if !ok {
+			t.Errorf("no %q log line; got events %v", msg, events)
+			continue
+		}
+		if l.JobID != sub.ID {
+			t.Errorf("%s: jobId %q, want %q", msg, l.JobID, sub.ID)
+		}
+		if l.State != wantState {
+			t.Errorf("%s: state %q, want %q", msg, l.State, wantState)
+		}
+		if l.Schemes != "SingleBase" || l.Benchmarks != 1 {
+			t.Errorf("%s: job attrs schemes=%q benchmarks=%d", msg, l.Schemes, l.Benchmarks)
+		}
+	}
+	if l := events["job submitted"]; l.Cache != "miss" {
+		t.Errorf("submitted line cache=%q, want miss", l.Cache)
+	}
+	if l := events["job cache hit"]; l.Cache != "hit" {
+		t.Errorf("cache-hit line cache=%q, want hit", l.Cache)
+	}
+	if l := events["job started"]; l.QueueWait < 0 {
+		t.Errorf("started line queueWaitMs=%v, want >= 0", l.QueueWait)
+	}
+	if l := events["job completed"]; l.RunMS <= 0 {
+		t.Errorf("completed line runMs=%v, want > 0", l.RunMS)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the server logs from worker
+// goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

@@ -7,6 +7,7 @@ import (
 	"equinox/internal/geom"
 	"equinox/internal/gpu"
 	"equinox/internal/noc"
+	"equinox/internal/obs"
 	"equinox/internal/power"
 	"equinox/internal/workloads"
 )
@@ -408,8 +409,10 @@ func (s *System) RunToCompletion() (Result, error) {
 }
 
 // RunToCompletionContext drives Step until the system finishes, hits
-// MaxCycles, or ctx is cancelled.
+// MaxCycles, or ctx is cancelled. The whole run is reported as one "sim"
+// phase span into the context's obs.Recorder (if any).
 func (s *System) RunToCompletionContext(ctx context.Context) (Result, error) {
+	defer obs.Span(ctx, "sim").End()
 	for !s.Finished() {
 		if s.now >= s.cfg.MaxCycles {
 			res := s.collect()

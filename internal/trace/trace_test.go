@@ -157,3 +157,73 @@ func TestByClass(t *testing.T) {
 		t.Error("expected both classes")
 	}
 }
+
+// synthetic builds a recorder holding records with the given total latencies.
+func synthetic(lats ...int64) *Recorder {
+	rec := &Recorder{}
+	for i, l := range lats {
+		rec.Records = append(rec.Records, Record{ID: int64(i), DeliveredAt: l})
+	}
+	return rec
+}
+
+func TestPercentileSingleRecord(t *testing.T) {
+	rec := synthetic(42)
+	for _, p := range []float64{0.1, 50, 99.9, 100} {
+		v, err := rec.Percentile(p)
+		if err != nil {
+			t.Fatalf("p%v: %v", p, err)
+		}
+		if v != 42 {
+			t.Errorf("p%v = %d, want 42 (only record)", p, v)
+		}
+	}
+}
+
+func TestPercentileExactBoundaries(t *testing.T) {
+	// Four records: each p = k/4*100 lands exactly on a rank boundary and
+	// must return the k-th smallest latency; values just below a boundary
+	// must not round up past it.
+	rec := synthetic(40, 10, 30, 20) // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{25, 10}, {50, 20}, {75, 30}, {100, 40},
+		{24.999, 10}, {25.001, 10}, {50.001, 20}, {1, 10},
+	}
+	for _, c := range cases {
+		v, err := rec.Percentile(c.p)
+		if err != nil {
+			t.Fatalf("p%v: %v", c.p, err)
+		}
+		if v != c.want {
+			t.Errorf("p%v = %d, want %d", c.p, v, c.want)
+		}
+	}
+}
+
+func TestPercentileRangeAndEmpty(t *testing.T) {
+	if _, err := synthetic().Percentile(50); err == nil {
+		t.Error("empty recorder accepted")
+	}
+	rec := synthetic(1, 2)
+	for _, p := range []float64{0, -5, 100.001} {
+		if _, err := rec.Percentile(p); err == nil {
+			t.Errorf("percentile %v accepted", p)
+		}
+	}
+}
+
+// TestRecorderCapBoundary: a cap equal to the traffic stores everything and
+// drops nothing; Dropped counts only the overflow beyond Cap.
+func TestRecorderCapBoundary(t *testing.T) {
+	rec := runTraced(t, 60, 60)
+	if len(rec.Records) != 60 || rec.Dropped != 0 {
+		t.Errorf("cap==traffic: %d records, %d dropped", len(rec.Records), rec.Dropped)
+	}
+	rec = runTraced(t, 1, 20)
+	if len(rec.Records) != 1 || rec.Dropped != 19 {
+		t.Errorf("cap 1: %d records, %d dropped", len(rec.Records), rec.Dropped)
+	}
+}

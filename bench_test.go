@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"equinox/internal/core"
+	"equinox/internal/flight"
 	"equinox/internal/mcts"
 	"equinox/internal/placement"
 	"equinox/internal/sim"
@@ -370,6 +371,42 @@ func BenchmarkSimulatorThroughputProbed(b *testing.B) {
 					b.Fatal(err)
 				}
 				sys.AttachProbes(64)
+				res, err := sys.RunToCompletion()
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.ExecCycles
+				total += res.ExecCycles
+			}
+			b.ReportMetric(float64(last), "sim-cycles")
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(total)/s, "cycles/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughputTraced repeats the throughput measurement with
+// the flight recorder attached to every network, tracing every packet into
+// the default 64K-event ring with both watchdogs armed. Compared against
+// BenchmarkSimulatorThroughput it bounds the tracing overhead: event capture
+// is a value copy into a preallocated ring, so allocs/op must not grow and
+// cycles/sec should stay within a few percent of the untraced run.
+func BenchmarkSimulatorThroughputTraced(b *testing.B) {
+	prof, err := workloads.ByName("hotspot")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scheme := range sim.AllSchemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			cfg := benchSchemeConfig(b, scheme)
+			var last, total int64
+			for i := 0; i < b.N; i++ {
+				sys, err := sim.NewSystem(cfg, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.AttachFlight(flight.Options{})
 				res, err := sys.RunToCompletion()
 				if err != nil {
 					b.Fatal(err)

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// compareReports checks every scheme in next against its counterpart in base
+// and fails (ok=false) when any scheme's simulator throughput dropped below
+// threshold × baseline. Schemes present on only one side are reported but do
+// not fail the comparison: a new scheme has no baseline to regress from, and
+// a removed one has nothing left to measure.
+func compareReports(base, next report, threshold float64) (summary string, ok bool) {
+	ok = true
+	var b strings.Builder
+	fmt.Fprintf(&b, "throughput vs baseline (%s, threshold %.2f):\n", base.Date, threshold)
+
+	prev := map[string]schemeResult{}
+	for _, s := range base.Schemes {
+		prev[s.Scheme] = s
+	}
+	seen := map[string]bool{}
+	for _, s := range next.Schemes {
+		seen[s.Scheme] = true
+		p, found := prev[s.Scheme]
+		if !found {
+			fmt.Fprintf(&b, "  %-18s %12.0f cycles/sec (no baseline)\n", s.Scheme, s.CyclesPerSec)
+			continue
+		}
+		if p.CyclesPerSec <= 0 {
+			fmt.Fprintf(&b, "  %-18s %12.0f cycles/sec (baseline had no rate)\n", s.Scheme, s.CyclesPerSec)
+			continue
+		}
+		ratio := s.CyclesPerSec / p.CyclesPerSec
+		verdict := "ok"
+		if ratio < threshold {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(&b, "  %-18s %12.0f -> %12.0f cycles/sec  %5.2fx  %s\n",
+			s.Scheme, p.CyclesPerSec, s.CyclesPerSec, ratio, verdict)
+	}
+	for _, s := range base.Schemes {
+		if !seen[s.Scheme] {
+			fmt.Fprintf(&b, "  %-18s missing from new report\n", s.Scheme)
+		}
+	}
+	if ok {
+		fmt.Fprintln(&b, "no regressions")
+	}
+	return b.String(), ok
+}
+
+// loadReport reads and decodes one BENCH_*.json file.
+func loadReport(path string) (report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return report{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(schemes ...schemeResult) report {
+	return report{Date: "2026-08-06T00:00:00Z", Schemes: schemes}
+}
+
+func TestCompareReportsPasses(t *testing.T) {
+	base := rep(
+		schemeResult{Scheme: "SingleBase", CyclesPerSec: 1000},
+		schemeResult{Scheme: "EquiNox", CyclesPerSec: 800},
+	)
+	next := rep(
+		schemeResult{Scheme: "SingleBase", CyclesPerSec: 960},
+		schemeResult{Scheme: "EquiNox", CyclesPerSec: 820},
+	)
+	summary, ok := compareReports(base, next, 0.95)
+	if !ok {
+		t.Fatalf("expected pass, got failure:\n%s", summary)
+	}
+	if !strings.Contains(summary, "no regressions") {
+		t.Errorf("summary missing pass line:\n%s", summary)
+	}
+}
+
+func TestCompareReportsFlagsRegression(t *testing.T) {
+	base := rep(schemeResult{Scheme: "EquiNox", CyclesPerSec: 1000})
+	next := rep(schemeResult{Scheme: "EquiNox", CyclesPerSec: 900})
+	summary, ok := compareReports(base, next, 0.95)
+	if ok {
+		t.Fatalf("0.90x should fail a 0.95 threshold:\n%s", summary)
+	}
+	if !strings.Contains(summary, "REGRESSION") {
+		t.Errorf("summary missing REGRESSION marker:\n%s", summary)
+	}
+	// The same drop passes a looser gate.
+	if _, ok := compareReports(base, next, 0.5); !ok {
+		t.Error("0.90x should pass a 0.50 threshold")
+	}
+}
+
+func TestCompareReportsHandlesMismatchedSchemes(t *testing.T) {
+	base := rep(
+		schemeResult{Scheme: "SingleBase", CyclesPerSec: 1000},
+		schemeResult{Scheme: "VCMono", CyclesPerSec: 500},
+	)
+	next := rep(
+		schemeResult{Scheme: "SingleBase", CyclesPerSec: 1000},
+		schemeResult{Scheme: "EquiNox", CyclesPerSec: 700},
+	)
+	summary, ok := compareReports(base, next, 0.95)
+	if !ok {
+		t.Fatalf("added/removed schemes must not fail the gate:\n%s", summary)
+	}
+	if !strings.Contains(summary, "no baseline") {
+		t.Errorf("summary should call out the scheme without a baseline:\n%s", summary)
+	}
+	if !strings.Contains(summary, "missing from new report") {
+		t.Errorf("summary should call out the scheme that disappeared:\n%s", summary)
+	}
+}
+
+func TestCompareReportsZeroBaselineRate(t *testing.T) {
+	base := rep(schemeResult{Scheme: "EquiNox", CyclesPerSec: 0})
+	next := rep(schemeResult{Scheme: "EquiNox", CyclesPerSec: 100})
+	if summary, ok := compareReports(base, next, 0.95); !ok {
+		t.Fatalf("a zero-rate baseline must not divide-by-zero into failure:\n%s", summary)
+	}
+}

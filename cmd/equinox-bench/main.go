@@ -3,6 +3,13 @@
 // tracking: cycles/sec, ns/op, bytes/op, and allocs/op for each of the seven
 // schemes on a fixed workload. `make bench` wraps it; CI uploads the file as
 // an artifact so throughput changes are visible per commit.
+//
+// With -compare it instead pits two existing records against each other:
+//
+//	equinox-bench -compare old.json new.json [-threshold 0.95]
+//
+// exits nonzero when any scheme's cycles/sec in new.json fell below
+// threshold × its old.json value, making it a CI regression gate.
 package main
 
 import (
@@ -49,7 +56,14 @@ func main() {
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to embed for comparison")
 	probeEvery := flag.Int64("probe-every", 0,
 		"attach occupancy probes sampling every N cycles (0 = no probes), to measure their overhead")
+	compare := flag.String("compare", "",
+		"baseline BENCH_*.json: compare it against the new record given as the next argument and exit nonzero on regression")
 	flag.Parse()
+
+	if *compare != "" {
+		runCompare(*compare, flag.Args())
+		return
+	}
 
 	prof, err := workloads.ByName(*workload)
 	if err != nil {
@@ -136,6 +150,35 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// runCompare implements `-compare old.json new.json [-threshold 0.95]`. The
+// standard flag package stops at the first positional argument, so the new
+// report path and any trailing -threshold arrive via flag.Args() and get a
+// second parse here.
+func runCompare(oldPath string, rest []string) {
+	if len(rest) < 1 {
+		fatal(fmt.Errorf("usage: equinox-bench -compare old.json new.json [-threshold 0.95]"))
+	}
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.95,
+		"minimum new/old cycles-per-sec ratio per scheme before failing")
+	if err := fs.Parse(rest[1:]); err != nil {
+		fatal(err)
+	}
+	base, err := loadReport(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	next, err := loadReport(rest[0])
+	if err != nil {
+		fatal(err)
+	}
+	summary, ok := compareReports(base, next, *threshold)
+	fmt.Print(summary)
+	if !ok {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

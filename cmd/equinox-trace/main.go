@@ -7,11 +7,22 @@
 // networks and prints a per-router ASCII heat map — the paper's Figure 4
 // hot zone around the CBs, which EquiNox's injection routers disperse.
 //
+// With -events it attaches the flight recorder: a ring buffer of per-packet
+// lifecycle events (creation, NI buffer assignment, injection stalls, VC
+// allocation, switch grants, link traversals, ejection) on every network of
+// the scheme, exportable as Chrome trace-event JSON for Perfetto or
+// chrome://tracing (-perfetto) and as CSV (-events-csv). The starvation
+// watchdog and tail-latency trigger ride along; a watchdog abort still
+// writes the requested event dumps before exiting nonzero.
+//
 // Usage:
 //
 //	equinox-trace [-scheme EquiNox] [-bench kmeans] [-instr 600]
 //	              [-csv trace.csv] [-jsonout trace.json]
 //	              [-heatmap] [-heatmap-csv occ.csv] [-probe-every 64]
+//	              [-events] [-perfetto out.json] [-events-csv events.csv]
+//	              [-sample 1] [-tail-latency 0] [-flight-cap 65536]
+//	              [-stall-limit 50000]
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"strings"
 
 	"equinox/internal/core"
+	"equinox/internal/flight"
 	"equinox/internal/noc"
 	"equinox/internal/sim"
 	"equinox/internal/trace"
@@ -43,6 +55,14 @@ func main() {
 		heatmap    = flag.Bool("heatmap", false, "print a per-router occupancy heat map across the scheme's networks")
 		heatmapCSV = flag.String("heatmap-csv", "", "write per-router probe data as CSV to this file")
 		probeEvery = flag.Int64("probe-every", 64, "probe sampling period in cycles (with -heatmap / -heatmap-csv)")
+
+		events     = flag.Bool("events", false, "attach the flight recorder: per-packet lifecycle events on every network")
+		perfetto   = flag.String("perfetto", "", "write flight events as Chrome trace-event JSON for Perfetto (implies -events)")
+		eventsCSV  = flag.String("events-csv", "", "write flight events as CSV (implies -events)")
+		sampleMod  = flag.Int64("sample", 1, "flight sampling: trace packets whose ID %% N == 0 (1 = every packet)")
+		tailBound  = flag.Int64("tail-latency", 0, "dump event history of packets delivered above N cycles (0 = off)")
+		flightCap  = flag.Int("flight-cap", 0, "flight ring capacity in events per network (0 = default 65536)")
+		stallLimit = flag.Int64("stall-limit", 0, "starvation watchdog window in cycles (0 = default 50000, <0 = off)")
 	)
 	flag.Parse()
 
@@ -76,9 +96,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var capture *flight.Capture
+	if *events || *perfetto != "" || *eventsCSV != "" {
+		capture = sys.AttachFlight(flight.Options{
+			SampleMod:    *sampleMod,
+			BufferCap:    *flightCap,
+			StallLimit:   *stallLimit,
+			LatencyLimit: *tailBound,
+		})
+	}
 	rec := &trace.Recorder{}
 	for _, n := range sys.ReplyNetworks() {
 		rec.Attach(n)
+	}
+	if capture != nil {
+		if rn := sys.ReplyNetworks(); len(rn) > 0 {
+			rec.WithFlight(rn[0].FlightRecorder())
+		}
 	}
 	// Probes cover every network of the scheme so occupancy is comparable
 	// across schemes regardless of how each splits traffic over meshes.
@@ -87,25 +121,69 @@ func main() {
 	if *heatmap || *heatmapCSV != "" {
 		probes = sys.AttachProbes(*probeEvery)
 	}
-	res, err := sys.RunToCompletion()
-	if err != nil {
-		log.Fatal(err)
+	res, runErr := sys.RunToCompletion()
+	if runErr != nil {
+		// A starvation-watchdog abort is exactly when the flight dump is
+		// most useful, so write the requested exports before exiting.
+		log.Printf("run failed: %v", runErr)
+		if capture == nil {
+			os.Exit(1)
+		}
 	}
 
-	fmt.Printf("%v / %s: %d cycles, %d packets traced on reply networks\n",
-		res.Scheme, res.Benchmark, res.ExecCycles, len(rec.Records))
-	for _, p := range []float64{50, 90, 95, 99} {
-		v, err := rec.Percentile(p)
+	if runErr == nil {
+		fmt.Printf("%v / %s: %d cycles, %d packets traced on reply networks\n",
+			res.Scheme, res.Benchmark, res.ExecCycles, len(rec.Records))
+		for _, p := range []float64{50, 90, 95, 99} {
+			v, err := rec.Percentile(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  p%-4.0f latency: %5d cycles\n", p, v)
+		}
+		h, err := rec.NewHistogram(10)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  p%-4.0f latency: %5d cycles\n", p, v)
+		fmt.Printf("  max latency:  %5d cycles over %d bins\n", h.Max, len(h.Counts))
 	}
-	h, err := rec.NewHistogram(10)
-	if err != nil {
-		log.Fatal(err)
+
+	if capture != nil {
+		fmt.Printf("flight: %d events (%d overwritten), %d starvation fire(s), %d tail-latency hit(s)\n",
+			capture.TotalEvents(), capture.Overwritten(),
+			capture.StarvationFires(), capture.TailExceeded())
+		for _, fr := range capture.Recorders {
+			for _, d := range fr.TailDumps() {
+				fmt.Printf("  tail packet %d on %s: %d cycles, %d events\n%s",
+					d.Pkt, fr.Name, d.Latency, len(d.Events), fr.FormatEvents(d.Events))
+			}
+		}
+		if *perfetto != "" {
+			f, err := os.Create(*perfetto)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := capture.WritePerfetto(f); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", *perfetto)
+		}
+		if *eventsCSV != "" {
+			f, err := os.Create(*eventsCSV)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := capture.WriteCSV(f); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", *eventsCSV)
+		}
 	}
-	fmt.Printf("  max latency:  %5d cycles over %d bins\n", h.Max, len(h.Counts))
+	if runErr != nil {
+		os.Exit(1)
+	}
 
 	if *heatmap {
 		heat := noc.CombineMeanOccupancy(probes)

@@ -22,6 +22,7 @@ import (
 	"context"
 
 	"equinox/internal/core"
+	"equinox/internal/flight"
 	"equinox/internal/sim"
 	"equinox/internal/workloads"
 )
@@ -62,12 +63,40 @@ func RunBenchmark(rc RunConfig) (sim.Result, error) {
 // RunBenchmarkContext is RunBenchmark with cancellation: the simulation's
 // cycle loop polls ctx and returns ctx.Err() when it is cancelled.
 func RunBenchmarkContext(ctx context.Context, rc RunConfig) (sim.Result, error) {
-	if err := rc.Validate(); err != nil {
+	cfg, prof, err := rc.simSetup()
+	if err != nil {
 		return sim.Result{}, err
+	}
+	return sim.RunContext(ctx, cfg, prof)
+}
+
+// RunBenchmarkFlightContext is RunBenchmarkContext with the flight recorder
+// attached to every network. The capture is returned even when the run
+// fails — a starvation-watchdog diagnostic is exactly when the recorded
+// events matter most.
+func RunBenchmarkFlightContext(ctx context.Context, rc RunConfig, opts flight.Options) (sim.Result, *flight.Capture, error) {
+	cfg, prof, err := rc.simSetup()
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	sys, err := sim.NewSystem(cfg, prof)
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	cap := sys.AttachFlight(opts)
+	res, err := sys.RunToCompletionContext(ctx)
+	return res, cap, err
+}
+
+// simSetup validates the run configuration and resolves it into the
+// simulator's config plus the benchmark profile.
+func (rc RunConfig) simSetup() (sim.Config, workloads.Profile, error) {
+	if err := rc.Validate(); err != nil {
+		return sim.Config{}, workloads.Profile{}, err
 	}
 	prof, err := workloads.ByName(rc.Benchmark)
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Config{}, workloads.Profile{}, err
 	}
 	cfg := sim.DefaultConfig(rc.Scheme)
 	if rc.Width > 0 {
@@ -89,7 +118,7 @@ func RunBenchmarkContext(ctx context.Context, rc RunConfig) (sim.Result, error) 
 		cfg.CBOverride = rc.Design.CBs
 		cfg.EIRGroups = rc.Design.Groups
 	}
-	return sim.RunContext(ctx, cfg, prof)
+	return cfg, prof, nil
 }
 
 // Benchmarks returns the 29 benchmark names of the evaluation suite.

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"equinox/internal/core"
+	"equinox/internal/flight"
 	"equinox/internal/obs"
 	"equinox/internal/sim"
 	"equinox/internal/stats"
@@ -35,6 +36,21 @@ type EvalConfig struct {
 	// are serialized; the callback must not block for long. It is not part
 	// of the serialized configuration.
 	Progress func(done, total int) `json:"-"`
+
+	// Flight, when non-nil, attaches the cycle-accurate flight recorder
+	// (internal/flight) to one run of the sweep and collects its capture in
+	// Evaluation.Flights. It is not part of the serialized configuration.
+	Flight *FlightConfig `json:"-"`
+}
+
+// FlightConfig selects and configures the sweep's traced run.
+type FlightConfig struct {
+	// Options configures the recorders (zero = flight defaults).
+	Options flight.Options
+	// Scheme and Benchmark name the run to trace; empty selects the sweep's
+	// first scheme and first benchmark.
+	Scheme    string
+	Benchmark string
 }
 
 // DefaultEvalConfig returns the paper's main 8×8 sweep.
@@ -56,6 +72,10 @@ type Evaluation struct {
 	// search, simulation). Under parallelism the summed durations can exceed
 	// wall-clock time.
 	Phases []obs.Phase
+	// Flights holds the flight-recorder captures of traced runs (at most one
+	// per sweep today). A capture is kept even when its run failed — a
+	// watchdog diagnostic is when the events matter.
+	Flights []*flight.Capture
 }
 
 // RunEvaluation executes the sweep, parallelizing independent simulations.
@@ -109,6 +129,23 @@ func RunEvaluationContext(ctx context.Context, cfg EvalConfig) (*Evaluation, err
 		ev.Results[s] = map[string]sim.Result{}
 	}
 
+	// Resolve which run (if any) carries the flight recorder.
+	traceScheme := sim.SchemeKind(-1)
+	traceBench := ""
+	if cfg.Flight != nil && len(schemes) > 0 && len(benches) > 0 {
+		traceScheme, traceBench = schemes[0], benches[0]
+		if cfg.Flight.Scheme != "" {
+			k, err := ParseScheme(cfg.Flight.Scheme)
+			if err != nil {
+				return nil, err
+			}
+			traceScheme = k
+		}
+		if cfg.Flight.Benchmark != "" {
+			traceBench = cfg.Flight.Benchmark
+		}
+	}
+
 	type job struct {
 		scheme sim.SchemeKind
 		bench  string
@@ -142,7 +179,7 @@ dispatch:
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := RunBenchmarkContext(ctx, RunConfig{
+			rc := RunConfig{
 				Scheme:            j.scheme,
 				Benchmark:         j.bench,
 				Width:             cfg.Width,
@@ -151,10 +188,23 @@ dispatch:
 				Design:            design,
 				InstructionsPerPE: cfg.InstructionsPerPE,
 				Seed:              cfg.Seed,
-			})
+			}
+			var (
+				res     sim.Result
+				err     error
+				capture *flight.Capture
+			)
+			if cfg.Flight != nil && j.scheme == traceScheme && j.bench == traceBench {
+				res, capture, err = RunBenchmarkFlightContext(ctx, rc, cfg.Flight.Options)
+			} else {
+				res, err = RunBenchmarkContext(ctx, rc)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			done++
+			if capture != nil {
+				ev.Flights = append(ev.Flights, capture)
+			}
 			switch {
 			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 				// Cancellation is reported once via the returned error, not

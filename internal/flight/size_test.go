@@ -1,0 +1,14 @@
+package flight
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The ring is sized in events; keep the event a compact fixed-size value so
+// the default 64K-entry ring stays ~2.5 MB per network.
+func TestEventSize(t *testing.T) {
+	if s := unsafe.Sizeof(Event{}); s != 40 {
+		t.Errorf("Event is %d bytes, expected 40 — ring memory math in docs is stale", s)
+	}
+}

@@ -3,6 +3,7 @@ package noc
 import (
 	"testing"
 
+	"equinox/internal/flight"
 	"equinox/internal/geom"
 )
 
@@ -109,6 +110,24 @@ func TestStepDoesNotAllocate(t *testing.T) {
 			{cb2.ID(w), 0}, {cb2.ID(w), 7}, {cb2.ID(w), 56}, {cb2.ID(w), 63},
 		}
 		h := newAllocHarness(t, n, ReadReply, pairs, 4)
+		checkSteadyStateAllocs(t, h)
+	})
+
+	// The flight recorder's ring is preallocated, so attaching it must not
+	// reintroduce steady-state garbage: lifecycle events are value copies
+	// into the ring and the watchdog's common path is two compares.
+	t.Run("SingleBaseFlightAttached", func(t *testing.T) {
+		cfg := DefaultConfig("single", 8, 8)
+		cfg.Routing = RoutingXY
+		cfg.VCPolicy = VCByClass
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.AttachProbe(16)
+		n.AttachFlight(flight.Options{BufferCap: 1 << 12})
+		pairs := [][2]int{{0, 63}, {63, 0}, {7, 56}, {56, 7}, {1, 27}, {62, 27}}
+		h := newAllocHarness(t, n, ReadRequest, pairs, 6)
 		checkSteadyStateAllocs(t, h)
 	})
 }

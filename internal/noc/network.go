@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"equinox/internal/flight"
 	"equinox/internal/geom"
 )
 
@@ -56,6 +57,10 @@ type Network struct {
 	// probe, when attached, samples occupancy and link state every
 	// probe.Every cycles; nil costs one pointer compare per Step.
 	probe *Probe
+
+	// flight, when attached, records per-packet lifecycle events into a
+	// preallocated ring; nil costs one pointer compare per hook site.
+	flight *flight.Recorder
 
 	// OnDeliver, when non-nil, is invoked for every packet as its tail flit
 	// ejects (before the packet enters the delivery queue). Used by the
@@ -250,6 +255,9 @@ func (n *Network) TryInject(p *Packet, now int64) bool {
 		n.Stats.packetInjected(p, n.Cfg.FlitBytes)
 		n.markNIActive(ix)
 		n.inflight++
+		if n.flight != nil {
+			n.flightRecord(now, p, flight.Created, p.Src, int32(ClassOf(p.Type)), noAlloc)
+		}
 		return true
 	}
 	return false
@@ -311,6 +319,20 @@ func (n *Network) ejectFlit(node int, f *Flit, now int64) {
 		n.ejectQ[c][node] = append(n.ejectQ[c][node], f.Pkt)
 		n.delivered++
 		n.Stats.packetDelivered(f.Pkt, n.Cfg)
+		if fr := n.flight; fr != nil {
+			lat := now - f.Pkt.CreatedAt
+			sampled := fr.Hit(f.Pkt.ID)
+			if sampled {
+				fr.Record(flight.Event{
+					Cycle: now, Pkt: f.Pkt.ID, Kind: flight.Ejected,
+					Type: uint8(f.Pkt.Type), Src: int32(f.Pkt.Src), Dst: int32(f.Pkt.Dst),
+					Router: int32(node), A: int32(lat),
+				})
+			}
+			// Every ejection (sampled or not) feeds the watchdogs: the
+			// starvation detector must observe unsampled progress too.
+			fr.EjectObserved(now, f.Pkt.ID, lat, sampled)
+		}
 		if n.OnDeliver != nil {
 			n.OnDeliver(f.Pkt)
 		}
@@ -495,6 +517,7 @@ type standardNI struct {
 	sent   int
 	curVC  int
 	rrCls  int
+	stall  stallNote
 }
 
 func newStandardNI(n *Network, r *Router) *standardNI {
@@ -588,9 +611,24 @@ func (ni *standardNI) step(now int64) {
 			ni.curVC = vc
 			ni.cur.InjectedAt = now
 			ni.rrCls = (int(c) + 1) % int(NumClasses)
+			if ni.net.flight != nil {
+				ni.stall.clear()
+				ni.net.flightRecord(now, ni.cur, flight.BufferAssigned, ni.r.id, 0, int32(vc))
+			}
 			break
 		}
 		if ni.cur == nil {
+			if ni.net.flight != nil {
+				// The head of the first backlogged class (in this cycle's
+				// arbitration order) is the packet being stalled.
+				for k := 0; k < int(NumClasses); k++ {
+					c := Class((ni.rrCls + k) % int(NumClasses))
+					if len(ni.queues[c]) > 0 {
+						ni.net.flightStall(&ni.stall, now, ni.queues[c][0], ni.r.id, flight.StallNoVC)
+						break
+					}
+				}
+			}
 			return
 		}
 	}
@@ -602,10 +640,15 @@ func (ni *standardNI) step(now int64) {
 		f.enteredRouter = now
 		ni.r.accept(vb, f)
 		ni.sent++
+		if ni.net.flight != nil {
+			ni.stall.clear()
+		}
 		if ni.sent == len(ni.flits) {
 			// Keep the flits buffer for reuse; only drop the references.
 			ni.cur, ni.flits, ni.curVC = nil, ni.flits[:0], noAlloc
 		}
+	} else if ni.net.flight != nil && ni.cur != nil {
+		ni.net.flightStall(&ni.stall, now, ni.cur, ni.r.id, flight.StallVCFull)
 	}
 }
 

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"equinox/internal/flight"
 	"equinox/internal/geom"
 )
 
@@ -18,11 +19,15 @@ func (n *Network) addInjectionPort(r *Router, sink creditSink) int {
 type injBuffer struct {
 	r    *Router
 	port int
+	// ix is the buffer's flight-recorder index: 0 = local, EquiNox 1..4 =
+	// East..North EIR buffer, MultiPort = port ordinal.
+	ix int32
 
 	pkt   *Packet
 	flits []*Flit
 	sent  int
 	vc    int
+	stall stallNote
 }
 
 func (b *injBuffer) busy() bool { return b.pkt != nil }
@@ -37,11 +42,15 @@ func (b *injBuffer) remaining() int64 {
 
 // load assigns a packet to the buffer. The VC is chosen at the first stream
 // attempt so a briefly full router buffer does not drop the assignment.
-func (b *injBuffer) load(n *Network, p *Packet) {
+func (b *injBuffer) load(n *Network, p *Packet, now int64) {
 	b.pkt = p
 	b.flits = n.makeFlits(p, b.flits)
 	b.sent = 0
 	b.vc = noAlloc
+	if n.flight != nil {
+		b.stall.clear()
+		n.flightRecord(now, p, flight.BufferAssigned, b.r.id, b.ix, noAlloc)
+	}
 }
 
 // stream pushes up to one flit into the router input VC; returns true while
@@ -54,6 +63,9 @@ func (b *injBuffer) stream(n *Network, now int64) {
 	if b.vc == noAlloc {
 		vc := injectVC(n, ip, ClassOf(b.pkt.Type))
 		if vc == noAlloc {
+			if n.flight != nil {
+				n.flightStall(&b.stall, now, b.pkt, b.r.id, flight.StallNoVC)
+			}
 			return
 		}
 		b.vc = vc
@@ -65,9 +77,14 @@ func (b *injBuffer) stream(n *Network, now int64) {
 		f.enteredRouter = now
 		b.r.accept(vb, f)
 		b.sent++
+		if n.flight != nil {
+			b.stall.clear()
+		}
 		if b.sent == len(b.flits) {
 			b.pkt, b.flits, b.vc = nil, b.flits[:0], noAlloc
 		}
+	} else if n.flight != nil {
+		n.flightStall(&b.stall, now, b.pkt, b.r.id, flight.StallVCFull)
 	}
 }
 
@@ -92,6 +109,7 @@ type equiNoxNI struct {
 	eirOffset [geom.NumDirections]int
 
 	rrQuadrant int // round-robin for two-candidate quadrant selection
+	stall      stallNote
 }
 
 func newEquiNoxNI(n *Network, r *Router, eirs []geom.Point) *equiNoxNI {
@@ -100,7 +118,7 @@ func newEquiNoxNI(n *Network, r *Router, eirs []geom.Point) *equiNoxNI {
 		r:     r,
 		cb:    r.pos,
 		cap:   n.Cfg.InjQueuePackets,
-		local: &injBuffer{r: r, port: int(PortLocal), vc: noAlloc},
+		local: &injBuffer{r: r, port: int(PortLocal), ix: 0, vc: noAlloc},
 	}
 	r.in[PortLocal].upNI = ni
 	for _, e := range eirs {
@@ -111,7 +129,7 @@ func newEquiNoxNI(n *Network, r *Router, eirs []geom.Point) *equiNoxNI {
 		d := dirs[0]
 		er := n.RouterAt(e)
 		port := n.addInjectionPort(er, ni)
-		ni.dir[d] = &injBuffer{r: er, port: port, vc: noAlloc}
+		ni.dir[d] = &injBuffer{r: er, port: port, ix: int32(d), vc: noAlloc}
 		ni.eirOffset[d] = geom.Manhattan(ni.cb, e)
 	}
 	return ni
@@ -232,7 +250,12 @@ func (ni *equiNoxNI) step(now int64) {
 		dst := geom.FromID(p.Dst, ni.net.Cfg.Width)
 		if b := ni.selectBuffer(dst); b != nil {
 			ni.queue, _ = popPacket(ni.queue)
-			b.load(ni.net, p)
+			b.load(ni.net, p, now)
+			if ni.net.flight != nil {
+				ni.stall.clear()
+			}
+		} else if ni.net.flight != nil {
+			ni.net.flightStall(&ni.stall, now, p, ni.r.id, flight.StallBuffersBusy)
 		}
 	}
 	// All five buffers stream concurrently (the split buffers are the whole
@@ -266,6 +289,7 @@ type multiPortNI struct {
 	rr      int
 	rrCls   int
 	assigns int // packet dispatches per cycle
+	stall   stallNote
 }
 
 func newMultiPortNI(n *Network, r *Router, ports int) *multiPortNI {
@@ -274,10 +298,10 @@ func newMultiPortNI(n *Network, r *Router, ports int) *multiPortNI {
 		ni.assigns = n.Cfg.NIAssignsPerCycle
 	}
 	r.in[PortLocal].upNI = ni
-	ni.bufs = append(ni.bufs, &injBuffer{r: r, port: int(PortLocal), vc: noAlloc})
+	ni.bufs = append(ni.bufs, &injBuffer{r: r, port: int(PortLocal), ix: 0, vc: noAlloc})
 	for k := 1; k < ports; k++ {
 		port := n.addInjectionPort(r, ni)
-		ni.bufs = append(ni.bufs, &injBuffer{r: r, port: port, vc: noAlloc})
+		ni.bufs = append(ni.bufs, &injBuffer{r: r, port: port, ix: int32(k), vc: noAlloc})
 	}
 	return ni
 }
@@ -345,6 +369,7 @@ func (ni *multiPortNI) step(now int64) {
 	// blocked class never starves the other. One class may never occupy
 	// every buffer: a backpressured request stream hogging all buffers
 	// would trap replies in the NI and close the M2F2M protocol loop.
+	anyAssigned := false
 	for a := 0; a < ni.assigns; a++ {
 		assigned := false
 		for k := 0; k < int(NumClasses); k++ {
@@ -360,7 +385,7 @@ func (ni *multiPortNI) step(now int64) {
 				if !b.busy() {
 					var p *Packet
 					ni.queues[c], p = popPacket(ni.queues[c])
-					b.load(ni.net, p)
+					b.load(ni.net, p, now)
 					ni.rr = (ni.rr + j + 1) % len(ni.bufs)
 					assigned = true
 					break
@@ -373,6 +398,20 @@ func (ni *multiPortNI) step(now int64) {
 		}
 		if !assigned {
 			break
+		}
+		anyAssigned = true
+	}
+	if ni.net.flight != nil {
+		if anyAssigned {
+			ni.stall.clear()
+		} else {
+			for k := 0; k < int(NumClasses); k++ {
+				c := Class((ni.rrCls + k) % int(NumClasses))
+				if len(ni.queues[c]) > 0 {
+					ni.net.flightStall(&ni.stall, now, ni.queues[c][0], ni.r.id, flight.StallBuffersBusy)
+					break
+				}
+			}
 		}
 	}
 	for _, b := range ni.bufs {

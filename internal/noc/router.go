@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"equinox/internal/flight"
 	"equinox/internal/geom"
 )
 
@@ -347,6 +348,9 @@ func (r *Router) vcAllocate(now int64) {
 				vb.outPort, vb.outVC = c.port, c.vc
 				break
 			}
+			if r.net.flight != nil && vb.outPort != noAlloc {
+				r.net.flightRecord(now, head.Pkt, flight.VCAlloc, r.id, int32(vb.outPort), int32(vb.outVC))
+			}
 		}
 	}
 }
@@ -439,6 +443,9 @@ func (r *Router) switchAllocate(now int64) int {
 		q := &reqs[grant[pi]]
 		op := r.out[pi]
 		f := q.vb.pop()
+		if n.flight != nil && f.IsHead {
+			n.flightRecord(now, f.Pkt, flight.SAGrant, r.id, int32(pi), int32(q.vb.outVC))
+		}
 		r.inFlits--
 		moved++
 		r.occupancyCycles += now - f.enteredRouter
@@ -485,6 +492,9 @@ func (r *Router) deliverArrivals(now int64) {
 		for _, ff := range lnk.inFlight {
 			if ff.due <= now {
 				ff.f.enteredRouter = now
+				if r.net.flight != nil && ff.f.IsHead {
+					r.net.flightRecord(now, ff.f.Pkt, flight.LinkTraverse, lnk.to.id, int32(lnk.toPort), int32(ff.vc))
+				}
 				lnk.to.accept(lnk.to.in[lnk.toPort].vcs[ff.vc], ff.f)
 				r.linkFlits--
 			} else {

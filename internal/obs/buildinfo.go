@@ -1,0 +1,32 @@
+package obs
+
+import "runtime/debug"
+
+// RegisterBuildInfo registers the conventional equinox_build_info gauge: a
+// constant 1 whose labels carry the Go toolchain version and the VCS
+// revision baked into the binary. Scrapers join it against other series to
+// attribute metrics to a build. Values come from debug.ReadBuildInfo, so a
+// binary built outside a VCS checkout reports revision "unknown".
+func RegisterBuildInfo(reg *Registry) {
+	goVersion, revision, modified := "unknown", "unknown", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+	}
+	if modified == "true" {
+		revision += "-dirty"
+	}
+	reg.GaugeVec("equinox_build_info",
+		"Build metadata: constant 1 labelled with the Go version and VCS revision.",
+		"goversion", "revision").
+		With(goVersion, revision).Set(1)
+}

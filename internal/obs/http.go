@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
@@ -85,6 +86,21 @@ func nextRequestID() string {
 // RequestIDHeader is the header request IDs are read from and echoed on.
 const RequestIDHeader = "X-Request-Id"
 
+// ridKey is the context key request IDs travel under.
+type ridKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, ridKey{}, rid)
+}
+
+// RequestIDFrom returns the request ID carried by the context, or "". Inside
+// handlers wrapped by Middleware it is always set.
+func RequestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
 // Middleware instruments an HTTP handler: per-route request counters and
 // latency histograms, an in-flight gauge, request IDs echoed in the
 // response (honoring an incoming X-Request-Id), and one structured access
@@ -100,6 +116,7 @@ func Middleware(next http.Handler, m *HTTPMetrics, logger *slog.Logger, route fu
 			rid = nextRequestID()
 		}
 		w.Header().Set(RequestIDHeader, rid)
+		r = r.WithContext(WithRequestID(r.Context(), rid))
 
 		m.inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w}

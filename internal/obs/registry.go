@@ -125,6 +125,11 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.child(nil, func() metric { return &Gauge{} }).(*Gauge)
 }
 
+// GaugeVec registers a gauge family with labels.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, TypeGauge, labelNames, nil)}
+}
+
 // GaugeFunc registers a gauge whose value is read from fn at scrape time.
 // fn must be safe to call concurrently.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
@@ -255,6 +260,15 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 func (g *Gauge) writeSamples(w io.Writer, name, labels string, _ []float64) {
 	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// GaugeVec is a labelled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the label values (order matches the
+// registration's label names).
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues, func() metric { return &Gauge{} }).(*Gauge)
 }
 
 // gaugeFunc is a scrape-time callback gauge.

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"equinox/internal/obs"
+)
+
+// submitWithRequestID posts a spec with an explicit X-Request-Id header.
+func submitWithRequestID(t *testing.T, ts *httptest.Server, spec JobSpec, rid string) (SubmitResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SubmitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+// TestRequestIDPropagation: the X-Request-Id of the creating submission must
+// follow the job everywhere — every lifecycle log line and the job's wire
+// status — so one client-held ID correlates the whole run.
+func TestRequestIDPropagation(t *testing.T) {
+	var buf syncBuffer
+	logger, err := obs.NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Logger: logger})
+
+	const rid = "req-flight-42"
+	sub, code := submitWithRequestID(t, ts, smallSpec(), rid)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitFor(t, "job done", func() bool {
+		st, _ := getJob(t, ts, sub.ID)
+		return st.Status.Finished()
+	})
+
+	st, _ := getJob(t, ts, sub.ID)
+	if st.RequestID != rid {
+		t.Errorf("job status requestId = %q, want %q", st.RequestID, rid)
+	}
+
+	type line struct {
+		Msg       string `json:"msg"`
+		JobID     string `json:"jobId"`
+		RequestID string `json:"requestId"`
+	}
+	var lifecycle int
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", raw, err)
+		}
+		if !strings.HasPrefix(l.Msg, "job ") || l.JobID != sub.ID {
+			continue
+		}
+		lifecycle++
+		if l.RequestID != rid {
+			t.Errorf("%q line requestId = %q, want %q", l.Msg, l.RequestID, rid)
+		}
+	}
+	if lifecycle < 3 {
+		t.Errorf("saw %d lifecycle lines, want submitted/started/completed at least", lifecycle)
+	}
+}
+
+// TestTraceArtifactEndpoint runs a Trace-flagged job end to end and checks
+// the Perfetto artifact appears at /v1/jobs/{id}/trace — and that untraced
+// jobs 404 there instead of serving an empty file.
+func TestTraceArtifactEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	spec := smallSpec()
+	spec.Trace = true
+	sub, code := submit(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitFor(t, "traced job done", func() bool {
+		st, _ := getJob(t, ts, sub.ID)
+		return st.Status.Finished()
+	})
+	st, _ := getJob(t, ts, sub.ID)
+	if st.Status != JobDone {
+		t.Fatalf("traced job finished %s (%s)", st.Status, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace artifact is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace artifact has no events")
+	}
+	if doc.OtherData["scheme"] != "SingleBase" || doc.OtherData["benchmark"] != "kmeans" {
+		t.Errorf("artifact labels = %v", doc.OtherData)
+	}
+
+	// The same sweep without Trace is a different job (different content
+	// key) and has no artifact.
+	plain, code := submit(t, ts, smallSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("untraced submit: %d", code)
+	}
+	if plain.ID == sub.ID {
+		t.Error("traced and untraced sweeps share a content key")
+	}
+	waitFor(t, "untraced job done", func() bool {
+		st, _ := getJob(t, ts, plain.ID)
+		return st.Status.Finished()
+	})
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + plain.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced job trace: %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestBuildInfoAndFlightMetricsExposed: the registry carries the build-info
+// gauge and the flight anomaly counters from process start.
+func TestBuildInfoAndFlightMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	if !strings.Contains(body, "# TYPE equinox_build_info gauge") {
+		t.Error("missing equinox_build_info TYPE line")
+	}
+	if !strings.Contains(body, `equinox_build_info{goversion="`) {
+		t.Errorf("missing equinox_build_info sample:\n%s", body)
+	}
+	for _, name := range []string{"equinox_flight_stall_total", "equinox_flight_tail_latency_total"} {
+		if !strings.Contains(body, "# HELP "+name+" ") {
+			t.Errorf("missing %s", name)
+		}
+	}
+}

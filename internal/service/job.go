@@ -44,9 +44,17 @@ type job struct {
 	cancel context.CancelFunc
 
 	// log is the job-scoped logger, pre-bound with the job ID (the spec
-	// hash), schemes, and benchmark count; every lifecycle transition logs
-	// through it.
+	// hash), the submitting request's ID, schemes, and benchmark count;
+	// every lifecycle transition logs through it.
 	log *slog.Logger
+
+	// requestID is the X-Request-Id of the submission that created the job,
+	// correlating the job's whole lifecycle with the client's request.
+	requestID string
+
+	// trace is the rendered Perfetto artifact of a Trace-flagged job
+	// (GET /v1/jobs/{id}/trace); nil until the job completes.
+	trace []byte
 
 	doneRuns  atomic.Int64
 	totalRuns int
@@ -58,6 +66,9 @@ type JobStatus struct {
 	Status JobState    `json:"status"`
 	Runs   JobProgress `json:"progress"`
 	Error  string      `json:"error,omitempty"`
+	// RequestID echoes the X-Request-Id of the submission that created the
+	// job.
+	RequestID string `json:"requestId,omitempty"`
 
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
@@ -81,6 +92,7 @@ func (j *job) status() JobStatus {
 		Status:      j.state,
 		Runs:        JobProgress{Done: int(j.doneRuns.Load()), Total: j.totalRuns},
 		Error:       j.errMsg,
+		RequestID:   j.requestID,
 		SubmittedAt: j.submitted,
 	}
 	if !j.started.IsZero() {

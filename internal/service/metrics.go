@@ -25,6 +25,10 @@ type metrics struct {
 	// queueWait tracks how long jobs sat queued before a worker picked them
 	// up, in seconds.
 	queueWait obs.BoundHistogram
+
+	// Flight-recorder anomaly counters, aggregated from Trace-flagged jobs.
+	flightStalls *obs.Counter
+	flightTail   *obs.Counter
 }
 
 // newMetrics builds the registry. The workers / queue-depth / cache-entries
@@ -58,9 +62,15 @@ func newMetrics(workers func() float64, queueDepth func() float64, cacheEntries 
 		queueWait: reg.Histogram("equinox_job_queue_wait_seconds",
 			"Time jobs spent queued before a worker picked them up.",
 			obs.DefaultLatencyBuckets()),
+
+		flightStalls: reg.Counter("equinox_flight_stall_total",
+			"Starvation-watchdog firings across traced jobs."),
+		flightTail: reg.Counter("equinox_flight_tail_latency_total",
+			"Deliveries exceeding the flight recorder's latency bound across traced jobs."),
 	}
 	reg.GaugeFunc("equinox_workers", "Size of the evaluation worker pool.", workers)
 	reg.GaugeFunc("equinox_queue_depth", "Jobs waiting in the submission queue.", queueDepth)
 	reg.GaugeFunc("equinox_cache_entries", "Entries in the result cache.", cacheEntries)
+	obs.RegisterBuildInfo(reg)
 	return m
 }

@@ -198,6 +198,24 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 	default:
 		var buf bytes.Buffer
 		werr := ev.WriteJSON(&buf)
+		// Render the flight-recorder artifact outside the lock; surface the
+		// watchdog counters and a job-scoped summary line either way.
+		var traceBuf []byte
+		if j.spec.Trace && len(ev.Flights) > 0 {
+			capt := ev.Flights[0]
+			var tb bytes.Buffer
+			if terr := capt.WritePerfetto(&tb); terr == nil {
+				traceBuf = tb.Bytes()
+			}
+			s.met.flightStalls.Add(capt.StarvationFires())
+			s.met.flightTail.Add(capt.TailExceeded())
+			j.log.Info("job trace captured",
+				"scheme", capt.Scheme, "benchmark", capt.Benchmark,
+				"events", capt.TotalEvents(), "overwritten", capt.Overwritten(),
+				"starvationFires", capt.StarvationFires(),
+				"tailLatencyHits", capt.TailExceeded(),
+				"traceBytes", len(traceBuf))
+		}
 		s.mu.Lock()
 		switch {
 		case werr != nil:
@@ -213,6 +231,7 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 		default:
 			j.state = JobDone
 			j.finished = now
+			j.trace = traceBuf
 			for _, k := range s.cache.Put(j.id, buf.Bytes()) {
 				delete(s.jobs, k)
 			}
@@ -228,15 +247,17 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 
 // Handler returns the server's HTTP API:
 //
-//	POST   /v1/jobs      submit a JobSpec; identical specs share one job ID
-//	GET    /v1/jobs/{id} status, progress, and (when done) the result JSON
-//	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET    /v1/metrics   text-format counters and gauges
-//	GET    /v1/healthz   liveness probe
+//	POST   /v1/jobs            submit a JobSpec; identical specs share one job ID
+//	GET    /v1/jobs/{id}       status, progress, and (when done) the result JSON
+//	GET    /v1/jobs/{id}/trace Perfetto trace artifact of a Trace-flagged job
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/metrics         text-format counters and gauges
+//	GET    /v1/healthz         liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -254,6 +275,8 @@ func routeOf(r *http.Request) string {
 	switch {
 	case p == "/v1/jobs":
 		return "/v1/jobs"
+	case strings.HasPrefix(p, "/v1/jobs/") && strings.HasSuffix(p, "/trace"):
+		return "/v1/jobs/{id}/trace"
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		return "/v1/jobs/{id}"
 	case p == "/v1/metrics":
@@ -322,7 +345,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		// Failed or cancelled (or evicted): replace with a fresh attempt.
 	}
-	j := s.newJobLocked(key, canon)
+	j := s.newJobLocked(key, canon, obs.RequestIDFrom(r.Context()))
 	select {
 	case s.queue <- j:
 	default:
@@ -339,8 +362,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
-// newJobLocked registers a fresh job record; the caller holds s.mu.
-func (s *Server) newJobLocked(key string, canon JobSpec) *job {
+// newJobLocked registers a fresh job record; the caller holds s.mu. The
+// submitting request's ID is bound into the job logger so every lifecycle
+// line correlates back to the client request that created the job.
+func (s *Server) newJobLocked(key string, canon JobSpec, requestID string) *job {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &job{
 		id:        key,
@@ -349,9 +374,11 @@ func (s *Server) newJobLocked(key string, canon JobSpec) *job {
 		submitted: time.Now(),
 		ctx:       ctx,
 		cancel:    cancel,
+		requestID: requestID,
 		totalRuns: canon.Runs(),
 		log: s.log.With(
 			"jobId", key,
+			"requestId", requestID,
 			"schemes", strings.Join(canon.Schemes, ","),
 			"benchmarks", len(canon.Benchmarks)),
 	}
@@ -376,6 +403,37 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleTrace serves the Perfetto trace artifact of a Trace-flagged job.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such job (completed results expire from the cache)")
+		return
+	}
+	if !j.spec.Trace {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "job was not submitted with trace: true")
+		return
+	}
+	if !j.state.Finished() {
+		st := j.state
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s; the trace artifact appears when it completes", st))
+		return
+	}
+	trace := j.trace
+	s.mu.Unlock()
+	if trace == nil {
+		httpError(w, http.StatusNotFound, "no trace artifact (job failed or was cancelled before capture)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(trace)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

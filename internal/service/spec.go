@@ -32,6 +32,12 @@ type JobSpec struct {
 	// Design optionally pins the EquiNox design (the export.go codec's
 	// shape); nil lets the server build one with the fast greedy search.
 	Design *equinox.ExportedDesign `json:"design,omitempty"`
+
+	// Trace attaches the flight recorder to one run of the sweep (the first
+	// scheme on the first benchmark) and stores the Perfetto trace as a job
+	// artifact at GET /v1/jobs/{id}/trace. Traced jobs hash to a different
+	// content key than untraced ones — their artifacts differ.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Canonicalize returns the spec with defaults made explicit and list fields
@@ -145,6 +151,9 @@ func (s JobSpec) evalConfig() (equinox.EvalConfig, error) {
 				d.Width, d.Height, s.Width, s.Height)
 		}
 		cfg.Design = d
+	}
+	if s.Trace {
+		cfg.Flight = &equinox.FlightConfig{}
 	}
 	return cfg, nil
 }

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"equinox/internal/flight"
+	"equinox/internal/noc"
+	"equinox/internal/workloads"
+)
+
+// TestFlightPerfettoFromHotspotRun traces a short hotspot run end to end and
+// validates the exported Chrome trace: parseable JSON, per-packet timestamps
+// that never go backwards, balanced async slices, and — since the run drains
+// completely and nothing was overwritten — every traced packet's history
+// ending in an ejection.
+func TestFlightPerfettoFromHotspotRun(t *testing.T) {
+	prof, err := workloads.ByName("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(EquiNox, t)
+	cfg.InstructionsPerPE = 60
+	sys, err := NewSystem(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt := sys.AttachFlight(flight.Options{BufferCap: 1 << 20})
+	if _, err := sys.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if capt.TotalEvents() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	if capt.Overwritten() != 0 {
+		t.Fatalf("ring overwrote %d events; raise BufferCap so the checks below see full histories", capt.Overwritten())
+	}
+
+	for _, rec := range capt.Recorders {
+		lastCycle := map[int64]int64{}
+		lastKind := map[int64]flight.Kind{}
+		sawCreated := map[int64]bool{}
+		for _, ev := range rec.Events() {
+			if prev, ok := lastCycle[ev.Pkt]; ok && ev.Cycle < prev {
+				t.Fatalf("%s: packet %d timestamps went backwards (%d after %d)",
+					rec.Name, ev.Pkt, ev.Cycle, prev)
+			}
+			lastCycle[ev.Pkt] = ev.Cycle
+			lastKind[ev.Pkt] = ev.Kind
+			if ev.Kind == flight.Created {
+				sawCreated[ev.Pkt] = true
+			}
+		}
+		// The run drained with no ring overwrites, so every packet that was
+		// created on this network must have ejected.
+		for pkt := range sawCreated {
+			if lastKind[pkt] != flight.Ejected {
+				t.Errorf("%s: packet %d ends with %v, want ejected after a drained run",
+					rec.Name, pkt, lastKind[pkt])
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := capt.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			ID  string `json:"id"`
+			PID int    `json:"pid"`
+			TS  int64  `json:"ts"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Perfetto export is not valid JSON: %v", err)
+	}
+	if doc.OtherData["scheme"] != "EquiNox" || doc.OtherData["benchmark"] != "hotspot" {
+		t.Errorf("otherData labels = %v", doc.OtherData)
+	}
+	phases := map[string]int{}
+	balance := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+		key := fmt.Sprintf("%d/%s", ev.PID, ev.ID)
+		switch ev.Ph {
+		case "b":
+			balance[key]++
+		case "e":
+			balance[key]--
+		}
+	}
+	if phases["M"] == 0 || phases["i"] == 0 || phases["b"] == 0 {
+		t.Fatalf("trace lacks expected phases: %v", phases)
+	}
+	for key, v := range balance {
+		if v != 0 {
+			t.Errorf("async slice %s: %+d unbalanced begin/end events", key, v)
+		}
+	}
+}
+
+// TestCheckFlightWatchdog exercises the simulator-side starvation check:
+// a packet delivered into an eject queue that nobody drains keeps the
+// network non-quiescent with no further ejections, so the watchdog must
+// fail the run with a diagnostic dump.
+func TestCheckFlightWatchdog(t *testing.T) {
+	prof, err := workloads.ByName("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(smallConfig(SingleBase, t), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt := sys.AttachFlight(flight.Options{StallLimit: 100})
+	n := sys.Networks()[0]
+	p := &noc.Packet{ID: 1, Type: noc.ReadRequest, Src: 0, Dst: 1}
+	if !n.TryInject(p, n.Now()) {
+		t.Fatal("injection refused")
+	}
+	for i := 0; i < 300; i++ {
+		n.Step()
+	}
+	err = sys.checkFlightWatchdog()
+	if err == nil {
+		t.Fatal("watchdog did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "starvation watchdog") {
+		t.Errorf("error lacks watchdog diagnostic: %v", err)
+	}
+	if capt.StarvationFires() != 1 {
+		t.Errorf("StarvationFires = %d, want 1", capt.StarvationFires())
+	}
+}

@@ -65,6 +65,14 @@ type System struct {
 	// evaluation, so per-cycle allocations are hoisted here.
 	servedBank []bool        // drainEjections per-cycle scratch
 	pktPool    []*noc.Packet // recycled packets (injection → delivery → pop)
+
+	// pktID numbers every packet the system creates (IDs start at 1), giving
+	// the flight recorder a stable identity that survives pooling.
+	pktID int64
+
+	// flight, when attached, bundles the per-network recorders; the cycle
+	// loop runs its watchdogs at the cancellation-check cadence.
+	flight *flightState
 }
 
 // newPacket draws a packet from the pool (or the heap on a cold start).
@@ -78,7 +86,8 @@ func (s *System) newPacket(typ noc.PacketType, src, dst, spoke int, payload any)
 	} else {
 		p = &noc.Packet{}
 	}
-	*p = noc.Packet{Type: typ, Src: src, Dst: dst, Spoke: spoke, Payload: payload}
+	s.pktID++
+	*p = noc.Packet{ID: s.pktID, Type: typ, Src: src, Dst: dst, Spoke: spoke, Payload: payload}
 	return p
 }
 
@@ -424,6 +433,11 @@ func (s *System) RunToCompletionContext(ctx context.Context) (Result, error) {
 			case <-ctx.Done():
 				return s.collect(), ctx.Err()
 			default:
+			}
+			if s.flight != nil {
+				if err := s.checkFlightWatchdog(); err != nil {
+					return s.collect(), err
+				}
 			}
 		}
 		s.Step()

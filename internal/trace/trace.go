@@ -9,10 +9,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"strconv"
 
+	"equinox/internal/flight"
 	"equinox/internal/noc"
+	"equinox/internal/obs"
 )
 
 // Record is one delivered packet.
@@ -26,6 +29,9 @@ type Record struct {
 	CreatedAt   int64          `json:"createdAt"`
 	InjectedAt  int64          `json:"injectedAt"`
 	DeliveredAt int64          `json:"deliveredAt"`
+	// Traced reports whether the flight recorder sampled this packet, i.e.
+	// whether EventsFor can back-reference its lifecycle events.
+	Traced bool `json:"traced,omitempty"`
 }
 
 // QueueCycles is the source-side queuing latency.
@@ -44,6 +50,40 @@ type Recorder struct {
 	// deliveries are counted but not stored.
 	Cap     int
 	Dropped int64
+
+	// dropCounter and dropLogger, when set via RegisterMetrics, surface cap
+	// overflows instead of dropping silently.
+	dropCounter *obs.Counter
+	dropLogger  *slog.Logger
+	dropWarned  bool
+
+	// flight, when set via WithFlight, back-references each record's
+	// event-level history in the network's flight recorder.
+	flight *flight.Recorder
+}
+
+// RegisterMetrics binds cap-overflow accounting to an obs registry: every
+// dropped record increments equinox_trace_dropped_total, and the first drop
+// logs one warning through logger (nil = no logging).
+func (rec *Recorder) RegisterMetrics(reg *obs.Registry, logger *slog.Logger) {
+	rec.dropCounter = reg.Counter("equinox_trace_dropped_total",
+		"Delivery records dropped because a trace recorder hit its cap.")
+	rec.dropLogger = logger
+}
+
+// WithFlight links the recorder to the network's flight recorder so
+// delivery records gain event-level back-references (Traced flag,
+// EventsFor).
+func (rec *Recorder) WithFlight(fr *flight.Recorder) { rec.flight = fr }
+
+// EventsFor returns the flight-recorder lifecycle events of a record's
+// packet, or nil when no flight recorder is linked or the packet was not
+// sampled (events may also have been overwritten by the ring).
+func (rec *Recorder) EventsFor(r Record) []flight.Event {
+	if rec.flight == nil || !rec.flight.Hit(r.ID) {
+		return nil
+	}
+	return rec.flight.PacketEvents(r.ID)
 }
 
 // Attach hooks the recorder onto a network's delivery callback.
@@ -51,6 +91,14 @@ func (rec *Recorder) Attach(n *noc.Network) {
 	n.OnDeliver = func(p *noc.Packet) {
 		if rec.Cap > 0 && len(rec.Records) >= rec.Cap {
 			rec.Dropped++
+			if rec.dropCounter != nil {
+				rec.dropCounter.Inc()
+			}
+			if rec.dropLogger != nil && !rec.dropWarned {
+				rec.dropWarned = true
+				rec.dropLogger.Warn("trace recorder cap reached; dropping further records",
+					"cap", rec.Cap, "packet", p.ID)
+			}
 			return
 		}
 		rec.Records = append(rec.Records, Record{
@@ -63,6 +111,7 @@ func (rec *Recorder) Attach(n *noc.Network) {
 			CreatedAt:   p.CreatedAt,
 			InjectedAt:  p.InjectedAt,
 			DeliveredAt: p.DeliveredAt,
+			Traced:      rec.flight != nil && rec.flight.Hit(p.ID),
 		})
 	}
 }

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"log/slog"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"equinox/internal/flight"
 	"equinox/internal/noc"
+	"equinox/internal/obs"
 )
 
 // runTraced drives a 4×4 network with n packets and returns the recorder.
@@ -225,5 +228,99 @@ func TestRecorderCapBoundary(t *testing.T) {
 	rec = runTraced(t, 1, 20)
 	if len(rec.Records) != 1 || rec.Dropped != 19 {
 		t.Errorf("cap 1: %d records, %d dropped", len(rec.Records), rec.Dropped)
+	}
+}
+
+// runTracedWith mirrors runTraced but lets the caller configure the recorder
+// (and the network) before traffic starts.
+func runTracedWith(t *testing.T, rec *Recorder, setup func(n *noc.Network), pkts int) {
+	t.Helper()
+	n, err := noc.New(noc.DefaultConfig("t", 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup != nil {
+		setup(n)
+	}
+	rec.Attach(n)
+	rng := rand.New(rand.NewSource(1))
+	sent := 0
+	for cyc := 0; cyc < 5000 && (sent < pkts || !n.Quiescent()); cyc++ {
+		if sent < pkts {
+			p := &noc.Packet{ID: int64(sent + 1), Type: noc.ReadRequest, Src: rng.Intn(16), Dst: rng.Intn(16)}
+			if n.TryInject(p, n.Now()) {
+				sent++
+			}
+		}
+		for node := 0; node < 16; node++ {
+			for n.PopDelivered(node) != nil {
+			}
+		}
+		n.Step()
+	}
+}
+
+// TestCapOverflowSurfacesInMetricsAndLog locks in the overflow contract:
+// every dropped record increments equinox_trace_dropped_total, and the first
+// drop logs exactly one warning — a capped recorder must never be silent
+// about losing data.
+func TestCapOverflowSurfacesInMetricsAndLog(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	rec := &Recorder{Cap: 10}
+	rec.RegisterMetrics(reg, slog.New(slog.NewTextHandler(&logBuf, nil)))
+	runTracedWith(t, rec, nil, 60)
+
+	if len(rec.Records) != 10 {
+		t.Fatalf("cap ignored: %d records", len(rec.Records))
+	}
+	if rec.Dropped != 50 {
+		t.Fatalf("dropped = %d, want 50", rec.Dropped)
+	}
+	var expo bytes.Buffer
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo.String(), "equinox_trace_dropped_total 50") {
+		t.Errorf("exposition missing drop counter:\n%s", expo.String())
+	}
+	if got := strings.Count(logBuf.String(), "trace recorder cap reached"); got != 1 {
+		t.Errorf("cap warning logged %d times, want exactly once:\n%s", got, logBuf.String())
+	}
+}
+
+// TestEventsForBackReference links the recorder to a flight recorder and
+// checks delivery records gain event-level histories for sampled packets.
+func TestEventsForBackReference(t *testing.T) {
+	rec := &Recorder{}
+	runTracedWith(t, rec, func(n *noc.Network) {
+		rec.WithFlight(n.AttachFlight(flight.Options{SampleMod: 2}))
+	}, 20)
+
+	if len(rec.Records) == 0 {
+		t.Fatal("no deliveries recorded")
+	}
+	var traced, untraced int
+	for _, r := range rec.Records {
+		evs := rec.EventsFor(r)
+		if r.ID%2 == 0 {
+			traced++
+			if !r.Traced {
+				t.Errorf("packet %d sampled but not flagged Traced", r.ID)
+			}
+			if len(evs) == 0 {
+				t.Errorf("packet %d sampled but has no events", r.ID)
+			} else if last := evs[len(evs)-1]; last.Kind != flight.Ejected {
+				t.Errorf("packet %d history ends with %v, want ejected", r.ID, last.Kind)
+			}
+		} else {
+			untraced++
+			if r.Traced || evs != nil {
+				t.Errorf("packet %d unsampled but Traced=%v events=%d", r.ID, r.Traced, len(evs))
+			}
+		}
+	}
+	if traced == 0 || untraced == 0 {
+		t.Fatalf("sampling split degenerate: %d traced / %d untraced", traced, untraced)
 	}
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all eval serve heatmap design cover clean
+.PHONY: all build vet test race bench bench-all eval serve fleet-smoke heatmap design cover clean
 
 all: build vet test
 
@@ -36,6 +36,14 @@ eval:
 # Evaluation-as-a-service: HTTP job server with result caching.
 serve:
 	$(GO) run ./cmd/equinox-server
+
+# End-to-end fleet check: builds the real server and worker binaries,
+# shards a sweep across a coordinator plus two workers, and compares the
+# assembled result byte-for-byte against the committed single-process
+# golden. FLEET_SMOKE_STORE_DIR pins the store directory (CI uploads it
+# as an artifact on failure).
+fleet-smoke:
+	FLEET_SMOKE=1 $(GO) test -count=1 -run TestFleetSmoke -v ./internal/service
 
 # Figure 4 heat maps and the placement scoring table.
 heatmap:

@@ -1,16 +1,22 @@
 // Command equinox-server runs the evaluation-as-a-service HTTP server: it
 // accepts JSON sweep submissions, executes them on a bounded worker pool,
 // and answers repeated design-space queries from a content-addressed result
-// cache.
+// store. It is also the fleet coordinator: equinox-worker processes pull
+// work units from it over HTTP, and multi-run sweeps are sharded across
+// them whenever workers are registered.
 //
 // Usage:
 //
-//	equinox-server -addr :8080 -workers 2 -log-level info -log-format text
+//	equinox-server -addr :8080 -workers 2 -store-dir /var/lib/equinox -log-level info
 //
 //	curl -s localhost:8080/v1/jobs -d '{"benchmarks":["kmeans"],"schemes":["EquiNox","SeparateBase"]}'
 //	curl -s localhost:8080/v1/jobs/<id>
+//	curl -sN localhost:8080/v1/jobs/<id>/events
 //	curl -s -X DELETE localhost:8080/v1/jobs/<id>
 //	curl -s localhost:8080/v1/metrics
+//
+// With -store-dir, completed results persist on disk and survive restarts;
+// coordinators sharing a directory share results.
 //
 // Runtime profiling is exposed under /debug/pprof/ (CPU, heap, goroutine,
 // …), so a loaded server can be profiled in place:
@@ -27,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
 	"os"
@@ -34,6 +41,8 @@ import (
 	"syscall"
 	"time"
 
+	"equinox/internal/fleet"
+	"equinox/internal/fleet/store"
 	"equinox/internal/obs"
 	"equinox/internal/service"
 )
@@ -43,11 +52,16 @@ func main() {
 	log.SetPrefix("equinox-server: ")
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent evaluations (0 = default)")
+		workers = flag.Int("workers", 0, "concurrent local evaluations (0 = default)")
 		jobPar  = flag.Int("job-parallelism", 0, "per-evaluation simulation parallelism (0 = auto)")
-		cache   = flag.Int("cache", 0, "result cache entries (0 = default)")
+		cache   = flag.Int("cache", 0, "in-memory result cache entries (0 = default)")
+		cacheBy = flag.Int64("cache-bytes", 0, "in-memory result cache byte bound (0 = entries only)")
+		stDir   = flag.String("store-dir", "", "persistent result store directory (empty = memory only)")
 		queue   = flag.Int("queue", 0, "submission queue depth (0 = default)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+
+		leaseTTL = flag.Duration("lease-ttl", 0, "fleet work-unit lease TTL (0 = default 15s)")
+		attempts = flag.Int("unit-attempts", 0, "fleet per-unit attempt budget (0 = default 3)")
 
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "structured log format: text or json")
@@ -59,25 +73,50 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var persist store.Store
+	if *stDir != "" {
+		disk, err := store.OpenDisk(*stDir, logger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer disk.Close()
+		persist = disk
+		log.Printf("persistent result store at %s (%d entries, %d bytes)",
+			*stDir, disk.Len(), disk.SizeBytes())
+	}
+
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		JobParallelism: *jobPar,
 		CacheEntries:   *cache,
+		CacheBytes:     *cacheBy,
 		QueueDepth:     *queue,
-		Logger:         logger,
+		Store:          persist,
+		Fleet: fleet.Config{
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *attempts,
+		},
+		Logger: logger,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
 	// net/http/pprof registers on the default mux; route its prefix there.
 	mux.Handle("/debug/pprof/", http.DefaultServeMux)
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{Handler: mux}
+
+	// Listen before announcing so "-addr :0" logs the real port —
+	// scripts (and the fleet smoke test) parse it to find the server.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s", ln.Addr())
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,94 @@
+// Command equinox-worker is a fleet worker: it pulls evaluation work
+// units from an equinox-server coordinator over HTTP, executes them with
+// the ordinary simulation harness, and posts the results back. Run any
+// number of workers against one coordinator — on the same machine or
+// across a cluster — and multi-run sweeps shard across all of them.
+//
+// Usage:
+//
+//	equinox-worker -coordinator http://localhost:8080 -parallelism 2
+//
+// Workers hold no state: results live in the coordinator's store. A
+// killed worker loses nothing — its leased units are re-leased to the
+// rest of the fleet after the lease TTL. SIGINT/SIGTERM stop the worker;
+// in-flight units are abandoned and re-leased the same way.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"equinox/internal/fleet"
+	"equinox/internal/obs"
+	"equinox/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("equinox-worker: ")
+	var (
+		coordinator = flag.String("coordinator", "http://localhost:8080", "coordinator base URL")
+		name        = flag.String("name", "", "stable worker name (default host-pid)")
+		parallel    = flag.Int("parallelism", 1, "units executed concurrently")
+		unitPar     = flag.Int("unit-parallelism", 0, "per-unit simulation parallelism (0 = GOMAXPROCS/parallelism)")
+		poll        = flag.Duration("poll", 500*time.Millisecond, "lease poll interval while idle")
+		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "lease renewal interval (keep well under the coordinator's lease TTL)")
+
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+	)
+	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *name == "" {
+		host, herr := os.Hostname()
+		if herr != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	runPar := *unitPar
+	if runPar <= 0 {
+		runPar = runtime.GOMAXPROCS(0) / *parallel
+		if runPar < 1 {
+			runPar = 1
+		}
+	}
+
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		Coordinator:       *coordinator,
+		Name:              *name,
+		Parallelism:       *parallel,
+		PollInterval:      *poll,
+		HeartbeatInterval: *heartbeat,
+		Logger:            logger,
+		Run: func(ctx context.Context, u fleet.Unit) ([]byte, error) {
+			return service.RunSpec(ctx, u.Spec, runPar)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("worker %s pulling from %s (parallelism %d, unit parallelism %d)",
+		*name, *coordinator, *parallel, runPar)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatal(err)
+	}
+}

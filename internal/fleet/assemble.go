@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"equinox"
+)
+
+// marshalEval renders an evaluation document exactly the way
+// equinox.(*Evaluation).WriteJSON does (two-space indent, trailing
+// newline), so assembled and single-process results compare byte for
+// byte.
+func marshalEval(doc *equinox.ExportedEvaluation) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// sortEval puts runs and errors into the canonical order WriteJSON uses.
+func sortEval(doc *equinox.ExportedEvaluation) {
+	sort.Slice(doc.Runs, func(i, j int) bool {
+		if doc.Runs[i].Scheme != doc.Runs[j].Scheme {
+			return doc.Runs[i].Scheme < doc.Runs[j].Scheme
+		}
+		return doc.Runs[i].Benchmark < doc.Runs[j].Benchmark
+	})
+	sort.Strings(doc.Errors)
+}
+
+// CanonicalResult normalizes an evaluation JSON document for equivalence
+// comparison and storage: phase timings — wall-clock measurements that
+// differ between any two runs — are stripped, and runs/errors are sorted.
+// Two runs of the same spec, whether single-process or sharded across a
+// fleet, produce byte-identical canonical documents.
+func CanonicalResult(raw []byte) ([]byte, error) {
+	var doc equinox.ExportedEvaluation
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("fleet: bad evaluation document: %w", err)
+	}
+	doc.Phases = nil
+	sortEval(&doc)
+	return marshalEval(&doc)
+}
+
+// assemble merges completed unit documents (and failed units' error
+// strings) into the job's canonical evaluation document. Unit documents
+// are full single-run evaluations: their runs are unioned, the design is
+// taken from the first unit that carries one (every EquiNox unit rebuilds
+// the same deterministic design), and per-run error strings are unioned —
+// the same "scheme/benchmark: message" entries a single-process sweep
+// records.
+func assemble(units []*trackedUnit) ([]byte, error) {
+	var out equinox.ExportedEvaluation
+	for _, u := range units {
+		switch u.state {
+		case unitDone:
+			var doc equinox.ExportedEvaluation
+			if err := json.Unmarshal(u.result, &doc); err != nil {
+				return nil, fmt.Errorf("fleet: unit %s returned a bad document: %w", u.Key, err)
+			}
+			out.Runs = append(out.Runs, doc.Runs...)
+			out.Errors = append(out.Errors, doc.Errors...)
+			if out.Design == nil {
+				out.Design = doc.Design
+			}
+			if out.Mesh == "" {
+				out.Mesh = doc.Mesh
+			}
+		case unitFailed:
+			out.Errors = append(out.Errors, fmt.Sprintf("%s/%s: %s", u.Scheme, u.Benchmark, u.errMsg))
+		}
+	}
+	sortEval(&out)
+	return marshalEval(&out)
+}

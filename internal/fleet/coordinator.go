@@ -1,0 +1,611 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"equinox/internal/fleet/store"
+	"equinox/internal/obs"
+)
+
+// Config tunes the coordinator.
+type Config struct {
+	// LeaseTTL is how long a granted unit may go without completion or a
+	// heartbeat before it is re-leased (default 15s).
+	LeaseTTL time.Duration
+	// WorkerTTL is how long a worker counts as registered after its last
+	// contact (default 2×LeaseTTL). With no active workers the job server
+	// falls back to single-process execution.
+	WorkerTTL time.Duration
+	// MaxAttempts bounds how many times a unit is leased before it is
+	// marked failed (default 3). Failed attempts and expired leases both
+	// consume the budget.
+	MaxAttempts int
+	// RetryBackoff is the base delay before a failed unit is re-queued;
+	// it doubles per attempt up to MaxBackoff (defaults 1s and 30s).
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// SweepInterval paces the lease-expiry/backoff scan (default
+	// LeaseTTL/4, clamped to [25ms, 1s]).
+	SweepInterval time.Duration
+	// QueueDepth bounds the unit queue (default 4096).
+	QueueDepth int
+	// Store, when non-nil, enables unit-level result reuse: units whose
+	// content key is already stored complete without running, and every
+	// completed unit is written back.
+	Store store.Store
+	// Logger receives lease-lifecycle logs (nil discards).
+	Logger *slog.Logger
+	// Metrics receives fleet instruments (nil registers them on a
+	// private, unexported registry).
+	Metrics *Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.WorkerTTL <= 0 {
+		c.WorkerTTL = 2 * c.LeaseTTL
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Second
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 30 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.LeaseTTL / 4
+		if c.SweepInterval < 25*time.Millisecond {
+			c.SweepInterval = 25 * time.Millisecond
+		}
+		if c.SweepInterval > time.Second {
+			c.SweepInterval = time.Second
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(obs.NewRegistry())
+	}
+	return c
+}
+
+// Lease/submission errors surfaced to the HTTP layer.
+var (
+	ErrUnknownLease = errors.New("fleet: unknown or expired lease")
+	ErrJobExists    = errors.New("fleet: job already submitted")
+)
+
+// unit lifecycle states.
+type unitState int
+
+const (
+	unitPending unitState = iota // in the queue
+	unitLeased                   // granted to a worker
+	unitWaiting                  // failed attempt, backing off before requeue
+	unitDone
+	unitFailed
+	unitCanceled
+)
+
+// trackedUnit is the coordinator's record of one work unit.
+type trackedUnit struct {
+	Unit
+	job      *trackedJob
+	state    unitState
+	attempts int // leases granted so far
+	readyAt  time.Time
+	lease    *lease
+	result   []byte
+	errMsg   string
+}
+
+// trackedJob is the coordinator's record of one sharded job.
+type trackedJob struct {
+	id       string
+	class    Class
+	units    []*trackedUnit
+	rem      int // units not yet done/failed
+	canceled bool
+	cb       JobCallbacks
+
+	// cbMu serializes callback delivery so unit events never trail the
+	// terminal delivery.
+	cbMu sync.Mutex
+}
+
+// lease is one granted unit.
+type lease struct {
+	id       string
+	unit     *trackedUnit
+	worker   string
+	expires  time.Time
+	canceled bool
+}
+
+// JobCallbacks receive a sharded job's progress and final result. They
+// are invoked without coordinator locks held and may call back into the
+// coordinator.
+type JobCallbacks struct {
+	// OnEvent delivers unit-level progress (completed/failed/retrying,
+	// cache hits).
+	OnEvent func(Event)
+	// OnDone delivers the assembled canonical evaluation document, or an
+	// assembly error. It is not invoked for cancelled jobs.
+	OnDone func(result []byte, err error)
+}
+
+// Coordinator shards jobs into leasable units and tracks workers, leases,
+// retries, and assembly. Create one with NewCoordinator and stop it with
+// Close.
+type Coordinator struct {
+	cfg   Config
+	log   *slog.Logger
+	met   *Metrics
+	queue *FairQueue[*trackedUnit]
+
+	mu           sync.Mutex
+	jobs         map[string]*trackedJob
+	leases       map[string]*lease
+	waiting      map[*trackedUnit]struct{}
+	workers      map[string]time.Time // last contact
+	workerLeases map[string]int
+	leaseSeq     int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCoordinator starts a coordinator (including its expiry-sweep
+// goroutine).
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:          cfg,
+		log:          cfg.Logger,
+		met:          cfg.Metrics,
+		queue:        NewFairQueue[*trackedUnit](cfg.QueueDepth),
+		jobs:         map[string]*trackedJob{},
+		leases:       map[string]*lease{},
+		waiting:      map[*trackedUnit]struct{}{},
+		workers:      map[string]time.Time{},
+		workerLeases: map[string]int{},
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	go c.sweepLoop()
+	return c
+}
+
+// Close stops the sweep goroutine and the unit queue.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stop:
+		return // already closed
+	default:
+	}
+	close(c.stop)
+	c.queue.Close()
+	<-c.done
+}
+
+func (c *Coordinator) sweepLoop() {
+	defer close(c.done)
+	tick := time.NewTicker(c.cfg.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-tick.C:
+			c.sweep(now)
+		}
+	}
+}
+
+// delivery is a batch of callbacks to run outside the coordinator lock.
+type delivery struct {
+	job    *trackedJob
+	events []Event
+	final  bool
+}
+
+// deliver runs the callbacks under the job's callback mutex so event
+// order is preserved and the terminal delivery comes last.
+func (c *Coordinator) deliver(deliveries []delivery) {
+	for _, d := range deliveries {
+		d.job.cbMu.Lock()
+		for _, ev := range d.events {
+			if d.job.cb.OnEvent != nil {
+				d.job.cb.OnEvent(ev)
+			}
+		}
+		if d.final && d.job.cb.OnDone != nil {
+			res, err := assemble(d.job.units)
+			d.job.cb.OnDone(res, err)
+		}
+		d.job.cbMu.Unlock()
+	}
+}
+
+// SubmitJob shards a job's units into the fleet. Units whose content key
+// is already in the store complete immediately as cache hits. Returns
+// ErrQueueFull (no unit queued) when the fleet queue cannot absorb the
+// job, letting the caller fall back to local execution.
+func (c *Coordinator) SubmitJob(id string, class Class, units []Unit, cb JobCallbacks) error {
+	j := &trackedJob{id: id, class: class, cb: cb, rem: len(units)}
+	var pending []*trackedUnit
+	var events []Event
+	doneUnits := 0
+	for _, u := range units {
+		tu := &trackedUnit{Unit: u, job: j}
+		j.units = append(j.units, tu)
+		// The store probe happens before the units are visible to any
+		// worker, so no lock is needed yet.
+		if c.cfg.Store != nil {
+			if res, ok := c.cfg.Store.Get(u.Key); ok {
+				tu.state = unitDone
+				tu.result = res
+				j.rem--
+				doneUnits++
+				c.met.UnitCacheHits.Inc()
+				events = append(events, Event{
+					Type: "cache", Status: "completed",
+					Scheme: u.Scheme, Benchmark: u.Benchmark, UnitKey: u.Key,
+					Done: doneUnits, Total: len(units),
+				})
+				continue
+			}
+		}
+		pending = append(pending, tu)
+	}
+
+	c.mu.Lock()
+	if _, exists := c.jobs[id]; exists {
+		c.mu.Unlock()
+		return ErrJobExists
+	}
+	// Fully-cached jobs never register: they finish before returning, and
+	// leaving a record would block a later re-submission.
+	if j.rem > 0 {
+		c.jobs[id] = j
+	}
+	c.mu.Unlock()
+
+	if len(pending) > 0 {
+		if err := c.queue.PushAll(pending, class); err != nil {
+			c.mu.Lock()
+			delete(c.jobs, id)
+			c.mu.Unlock()
+			return err
+		}
+	}
+	c.met.JobsSharded.Inc()
+	c.log.Info("job sharded",
+		"jobId", id, "class", class.String(),
+		"units", len(units), "cacheHits", doneUnits)
+	c.deliver([]delivery{{job: j, events: events, final: j.rem == 0}})
+	return nil
+}
+
+// CancelJob withdraws a job: queued and waiting units are dropped
+// immediately; leased units are flagged so the next heartbeat (or
+// completion) tells their workers to abort. No callbacks fire after
+// cancellation.
+func (c *Coordinator) CancelJob(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return
+	}
+	j.canceled = true
+	delete(c.jobs, id)
+	for _, u := range j.units {
+		switch u.state {
+		case unitPending:
+			c.queue.Remove(func(q *trackedUnit) bool { return q == u })
+		case unitWaiting:
+			delete(c.waiting, u)
+		case unitLeased:
+			if u.lease != nil {
+				u.lease.canceled = true
+			}
+		}
+		if u.state != unitDone && u.state != unitFailed {
+			u.state = unitCanceled
+		}
+	}
+	c.log.Info("job units withdrawn", "jobId", id)
+}
+
+// Lease grants one queued unit to a worker, registering the worker as
+// active. ok is false when no unit is available.
+func (c *Coordinator) Lease(worker string) (LeaseResponse, bool) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker, now)
+	for {
+		u, ok := c.queue.TryPop()
+		if !ok {
+			return LeaseResponse{}, false
+		}
+		if u.state != unitPending || u.job.canceled {
+			continue // cancelled while queued
+		}
+		c.leaseSeq++
+		l := &lease{
+			id:      fmt.Sprintf("L%08d", c.leaseSeq),
+			unit:    u,
+			worker:  worker,
+			expires: now.Add(c.cfg.LeaseTTL),
+		}
+		u.state = unitLeased
+		u.attempts++
+		u.lease = l
+		c.leases[l.id] = l
+		c.workerLeases[worker]++
+		c.met.WorkerBusy.With(worker).Set(1)
+		c.log.Info("unit leased",
+			"jobId", u.JobID, "unitKey", u.Key, "leaseId", l.id,
+			"worker", worker, "attempt", u.attempts,
+			"scheme", u.Scheme, "benchmark", u.Benchmark)
+		return LeaseResponse{
+			LeaseID:   l.id,
+			TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+			Unit:      u.Unit,
+		}, true
+	}
+}
+
+// Complete records a unit's outcome. An unknown lease (expired and
+// re-granted, or from a cancelled job) returns ErrUnknownLease; the
+// worker discards the unit.
+func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string) error {
+	now := time.Now()
+	c.mu.Lock()
+	l, ok := c.leases[leaseID]
+	if !ok {
+		c.mu.Unlock()
+		return ErrUnknownLease
+	}
+	c.dropLeaseLocked(l)
+	u := l.unit
+	j := u.job
+	if u.state != unitLeased || j.canceled {
+		// Cancelled (or already resolved by an expiry race): the result
+		// is unwanted.
+		c.mu.Unlock()
+		return nil
+	}
+	var d delivery
+	var storePut bool
+	if errMsg != "" {
+		d = c.retryUnitLocked(u, now, errMsg)
+	} else {
+		u.state = unitDone
+		u.result = result
+		u.lease = nil
+		j.rem--
+		if j.rem == 0 {
+			delete(c.jobs, j.id) // finished: allow future re-submission
+		}
+		c.met.UnitsCompleted.Inc()
+		storePut = c.cfg.Store != nil
+		d = delivery{job: j, events: []Event{{
+			Type: "unit", Status: "completed",
+			Scheme: u.Scheme, Benchmark: u.Benchmark, UnitKey: u.Key,
+			Done: len(j.units) - j.rem, Total: len(j.units),
+		}}, final: j.rem == 0}
+		c.log.Info("unit completed",
+			"jobId", u.JobID, "unitKey", u.Key, "leaseId", leaseID,
+			"worker", l.worker, "resultBytes", len(result))
+	}
+	c.mu.Unlock()
+	if storePut {
+		c.cfg.Store.Put(u.Key, result)
+	}
+	c.deliver([]delivery{d})
+	return nil
+}
+
+// Heartbeat marks the worker alive, renews the listed leases, and
+// returns the ones the worker should abandon.
+func (c *Coordinator) Heartbeat(worker string, leaseIDs []string) (canceled []string) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker, now)
+	for _, id := range leaseIDs {
+		l, ok := c.leases[id]
+		if !ok || l.canceled || l.unit.state != unitLeased {
+			canceled = append(canceled, id)
+			if ok {
+				c.dropLeaseLocked(l)
+			}
+			continue
+		}
+		l.expires = now.Add(c.cfg.LeaseTTL)
+	}
+	return canceled
+}
+
+// retryUnitLocked handles a failed attempt (worker-reported failure or
+// expired lease): back off and requeue while budget remains, otherwise
+// mark the unit failed. Returns the callback delivery to run after
+// unlocking.
+func (c *Coordinator) retryUnitLocked(u *trackedUnit, now time.Time, reason string) delivery {
+	j := u.job
+	u.lease = nil
+	u.errMsg = reason
+	if u.attempts >= c.cfg.MaxAttempts {
+		u.state = unitFailed
+		j.rem--
+		if j.rem == 0 {
+			delete(c.jobs, j.id) // finished: allow future re-submission
+		}
+		c.met.UnitsFailed.Inc()
+		u.errMsg = fmt.Sprintf("failed after %d attempts: %s", u.attempts, reason)
+		c.log.Warn("unit failed",
+			"jobId", u.JobID, "unitKey", u.Key,
+			"attempts", u.attempts, "error", reason)
+		return delivery{job: j, events: []Event{{
+			Type: "unit", Status: "failed",
+			Scheme: u.Scheme, Benchmark: u.Benchmark, UnitKey: u.Key,
+			Done: len(j.units) - j.rem, Total: len(j.units),
+			Err: u.errMsg,
+		}}, final: j.rem == 0}
+	}
+	backoff := c.cfg.RetryBackoff << (u.attempts - 1)
+	if backoff > c.cfg.MaxBackoff {
+		backoff = c.cfg.MaxBackoff
+	}
+	u.state = unitWaiting
+	u.readyAt = now.Add(backoff)
+	c.waiting[u] = struct{}{}
+	c.met.UnitsRetried.Inc()
+	c.log.Warn("unit retrying",
+		"jobId", u.JobID, "unitKey", u.Key,
+		"attempt", u.attempts, "backoffMs", backoff.Milliseconds(), "error", reason)
+	return delivery{job: j, events: []Event{{
+		Type: "unit", Status: "retrying",
+		Scheme: u.Scheme, Benchmark: u.Benchmark, UnitKey: u.Key,
+		Done: len(j.units) - j.rem, Total: len(j.units),
+		Err: reason,
+	}}}
+}
+
+// sweep advances time-driven state: expired leases, elapsed backoffs,
+// and stale workers.
+func (c *Coordinator) sweep(now time.Time) {
+	var deliveries []delivery
+	c.mu.Lock()
+	for id, l := range c.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		c.dropLeaseLocked(l)
+		if l.canceled || l.unit.state != unitLeased {
+			continue
+		}
+		c.met.LeasesExpired.Inc()
+		c.log.Warn("lease expired",
+			"jobId", l.unit.JobID, "unitKey", l.unit.Key,
+			"leaseId", id, "worker", l.worker)
+		deliveries = append(deliveries, c.retryUnitLocked(l.unit, now, "lease expired (worker lost)"))
+	}
+	for u := range c.waiting {
+		if now.Before(u.readyAt) {
+			continue
+		}
+		delete(c.waiting, u)
+		if u.state != unitWaiting || u.job.canceled {
+			continue
+		}
+		u.state = unitPending
+		if !c.queue.forcePush(u, u.job.class) {
+			return // queue closed: shutting down
+		}
+	}
+	for w, seen := range c.workers {
+		if now.Sub(seen) > c.cfg.WorkerTTL {
+			delete(c.workers, w)
+			c.log.Info("worker expired", "worker", w)
+		}
+	}
+	c.mu.Unlock()
+	c.deliver(deliveries)
+}
+
+// dropLeaseLocked removes a lease and maintains the per-worker busy
+// accounting.
+func (c *Coordinator) dropLeaseLocked(l *lease) {
+	if _, ok := c.leases[l.id]; !ok {
+		return
+	}
+	delete(c.leases, l.id)
+	if n := c.workerLeases[l.worker] - 1; n > 0 {
+		c.workerLeases[l.worker] = n
+	} else {
+		delete(c.workerLeases, l.worker)
+		c.met.WorkerBusy.With(l.worker).Set(0)
+	}
+}
+
+func (c *Coordinator) touchWorkerLocked(worker string, now time.Time) {
+	if _, known := c.workers[worker]; !known {
+		c.log.Info("worker registered", "worker", worker)
+	}
+	c.workers[worker] = now
+	c.met.WorkerLastSeen.With(worker).Set(float64(now.Unix()))
+}
+
+// ActiveWorkers counts workers seen within WorkerTTL. The job server
+// shards submissions only while this is non-zero.
+func (c *Coordinator) ActiveWorkers() int {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, seen := range c.workers {
+		if now.Sub(seen) <= c.cfg.WorkerTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// UnitsPending counts units queued or backing off.
+func (c *Coordinator) UnitsPending() int {
+	c.mu.Lock()
+	waiting := len(c.waiting)
+	c.mu.Unlock()
+	return c.queue.Len() + waiting
+}
+
+// UnitsRunning counts units currently leased.
+func (c *Coordinator) UnitsRunning() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, l := range c.leases {
+		if !l.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// QueueDepth returns per-class queued unit counts (interactive, batch).
+func (c *Coordinator) QueueDepth() (interactive, batch int) {
+	return c.queue.ClassLen(Interactive), c.queue.ClassLen(Batch)
+}
+
+// OldestLeaseAgeSeconds returns the age of the oldest outstanding lease,
+// 0 with none outstanding — a stuck-fleet indicator for dashboards.
+func (c *Coordinator) OldestLeaseAgeSeconds() float64 {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var oldest float64
+	for _, l := range c.leases {
+		// Lease age = time since grant; expires-TTL recovers the grant time.
+		age := now.Sub(l.expires.Add(-c.cfg.LeaseTTL)).Seconds()
+		if age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
+}

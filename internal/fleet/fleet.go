@@ -1,0 +1,117 @@
+// Package fleet turns the evaluation job server into a horizontally
+// scalable coordinator/worker system.
+//
+// The coordinator shards a sweep into per-(scheme, benchmark) work units,
+// each itself a canonical single-run job spec with its own content key.
+// Workers — separate processes, typically cmd/equinox-worker — pull units
+// over HTTP (POST /v1/fleet/lease), execute them with the ordinary
+// evaluation harness, and post the result back (POST /v1/fleet/complete).
+// Leases carry a TTL renewed by heartbeats; a crashed worker's units are
+// re-leased after the TTL expires, and a unit that keeps failing is
+// retried with backoff a bounded number of times before it is marked
+// failed. Completed unit results are written to the shared
+// content-addressed store (package store), so a re-run of an overlapping
+// sweep — on any node — reuses every unit already computed.
+//
+// Because each unit runs the same simulator with the same seed as the
+// corresponding run of a single-process sweep, and the design search is
+// deterministic, the assembled evaluation is byte-identical to a
+// single-process run of the same spec (modulo wall-clock phase timings,
+// which the canonical form strips — see CanonicalResult).
+package fleet
+
+import "encoding/json"
+
+// Class is a queue priority class. Interactive jobs (small sweeps a
+// human is waiting on) are dequeued ahead of batch jobs at a fixed
+// weight ratio, so a million-spec sweep cannot starve them.
+type Class int
+
+// The two priority classes.
+const (
+	Interactive Class = iota
+	Batch
+
+	numClasses = 2
+)
+
+// classWeights are the weighted-fair dequeue shares: for every unit of
+// batch service, interactive gets up to three.
+var classWeights = [numClasses]int64{3, 1}
+
+// String returns the class's wire/log name.
+func (c Class) String() string {
+	if c == Batch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// Unit is one leasable work unit: a single (scheme, benchmark) run of a
+// sharded job. Spec is the unit's canonical JobSpec JSON — itself a valid
+// single-run job — and Key is its content address, which doubles as the
+// unit's identity in the result store.
+type Unit struct {
+	JobID     string          `json:"jobId"`
+	Key       string          `json:"key"`
+	Scheme    string          `json:"scheme"`
+	Benchmark string          `json:"benchmark"`
+	Spec      json.RawMessage `json:"spec"`
+}
+
+// Event is a job progress notification delivered to the coordinator's
+// submitter (the job server streams them to clients as SSE).
+type Event struct {
+	// Type is "unit" for unit lifecycle events or "cache" for unit-level
+	// store hits.
+	Type string `json:"type"`
+	// Status qualifies unit events: completed, failed, or retrying.
+	Status    string `json:"status,omitempty"`
+	Scheme    string `json:"scheme,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	UnitKey   string `json:"unitKey,omitempty"`
+	// Done and Total count finished units; Total is the job's unit count.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Err carries the failure message of failed/retrying units.
+	Err string `json:"error,omitempty"`
+}
+
+// Wire types of the coordinator/worker HTTP protocol.
+
+// LeaseRequest asks the coordinator for one work unit.
+type LeaseRequest struct {
+	// Worker is the worker's self-chosen stable name; first contact
+	// registers it.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants a unit under a lease. The worker must complete the
+// unit or keep the lease alive via heartbeats before TTLMillis elapses,
+// or the unit is re-leased to another worker.
+type LeaseResponse struct {
+	LeaseID   string `json:"leaseId"`
+	TTLMillis int64  `json:"ttlMillis"`
+	Unit      Unit   `json:"unit"`
+}
+
+// CompleteRequest reports a unit's outcome: Result (the unit's evaluation
+// JSON) on success, or Error on failure.
+type CompleteRequest struct {
+	LeaseID string          `json:"leaseId"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// HeartbeatRequest renews a worker's leases and marks it alive.
+type HeartbeatRequest struct {
+	Worker   string   `json:"worker"`
+	LeaseIDs []string `json:"leaseIds,omitempty"`
+}
+
+// HeartbeatResponse lists submitted leases that are no longer wanted
+// (cancelled job, lease already expired and re-granted); the worker
+// should abort those units and discard their results.
+type HeartbeatResponse struct {
+	Canceled []string `json:"canceled,omitempty"`
+}

@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+
+	"equinox/internal/obs"
+)
+
+// RegisterHandlers mounts the coordinator/worker protocol on mux:
+//
+//	POST /v1/fleet/lease     — pull one work unit (204 when none queued)
+//	POST /v1/fleet/complete  — report a unit's result or failure
+//	POST /v1/fleet/heartbeat — renew leases and worker liveness
+func RegisterHandlers(mux *http.ServeMux, c *Coordinator, log *slog.Logger) {
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	mux.HandleFunc("POST /v1/fleet/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decodeInto(w, r, &req, log) {
+			return
+		}
+		if req.Worker == "" {
+			protocolError(w, http.StatusBadRequest, "worker name is required")
+			return
+		}
+		resp, ok := c.Lease(req.Worker)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		respondJSON(w, http.StatusOK, resp, log)
+	})
+	mux.HandleFunc("POST /v1/fleet/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decodeInto(w, r, &req, log) {
+			return
+		}
+		if req.LeaseID == "" {
+			protocolError(w, http.StatusBadRequest, "leaseId is required")
+			return
+		}
+		if err := c.Complete(req.LeaseID, req.Result, req.Error); err != nil {
+			if errors.Is(err, ErrUnknownLease) {
+				protocolError(w, http.StatusGone, err.Error())
+				return
+			}
+			protocolError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/fleet/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decodeInto(w, r, &req, log) {
+			return
+		}
+		if req.Worker == "" {
+			protocolError(w, http.StatusBadRequest, "worker name is required")
+			return
+		}
+		canceled := c.Heartbeat(req.Worker, req.LeaseIDs)
+		respondJSON(w, http.StatusOK, HeartbeatResponse{Canceled: canceled}, log)
+	})
+}
+
+// maxProtocolBody bounds protocol request bodies. Complete requests carry
+// a full single-run evaluation document (including a design export), so
+// the bound is generous.
+const maxProtocolBody = 64 << 20
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any, log *slog.Logger) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxProtocolBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		log.Warn("fleet: bad protocol request", "path", r.URL.Path, "error", err)
+		protocolError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func respondJSON(w http.ResponseWriter, code int, v any, log *slog.Logger) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Warn("fleet: response write failed", "error", err)
+	}
+}
+
+func protocolError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+}

@@ -1,0 +1,320 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"equinox/internal/obs"
+)
+
+// Disk store layout, under one root directory shared by any number of
+// processes:
+//
+//	objects/<key[:2]>/<key>   one file per entry: header + payload
+//	tmp/                      scratch files for atomic writes
+//	index.log                 append-only fsync'd index of puts/removes
+//
+// Writes are atomic: the entry is written to tmp/, fsync'd, then renamed
+// into objects/ (rename within one filesystem is atomic, so readers see
+// either the old entry or the new one, never a torn write), and finally
+// recorded in index.log with an fsync. Because the store is
+// content-addressed, two nodes racing to write one key are writing
+// equivalent values and last-rename-wins is correct.
+//
+// Each entry file carries a magic, the payload length, and a CRC32 of the
+// payload, so a truncated or corrupted entry is detected on reload (and on
+// every read) and skipped with a warning instead of poisoning the store.
+const (
+	diskMagic     = "EQNXST1\n"
+	diskHeaderLen = len(diskMagic) + 8 + 4 // magic + length + crc32
+)
+
+// Index record operations.
+const (
+	indexPut = "put"
+	indexDel = "del"
+)
+
+// Disk is a persistent content-addressed store rooted at a directory. It
+// is safe for concurrent use within a process, and safe for concurrent
+// writers across processes sharing the directory; a Get that misses the
+// in-memory index probes the directory, so entries written by other nodes
+// become visible without a reload.
+type Disk struct {
+	dir string
+	log *slog.Logger
+
+	mu    sync.Mutex
+	index *os.File // index.log, opened O_APPEND
+	sizes map[string]int64
+	bytes int64
+}
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir. Corrupt
+// or missing entries found during reload are skipped with a warning on
+// logger (nil discards); reload never fails on bad entries, only on an
+// unusable directory.
+func OpenDisk(dir string, logger *slog.Logger) (*Disk, error) {
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	for _, sub := range []string{dir, filepath.Join(dir, "objects"), filepath.Join(dir, "tmp")} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	d := &Disk{dir: dir, log: logger, sizes: map[string]int64{}}
+	if err := d.reload(); err != nil {
+		return nil, err
+	}
+	idx, err := os.OpenFile(d.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d.index = idx
+	return d, nil
+}
+
+func (d *Disk) indexPath() string { return filepath.Join(d.dir, "index.log") }
+
+func (d *Disk) objectPath(key string) string {
+	prefix := key
+	if len(prefix) > 2 {
+		prefix = prefix[:2]
+	}
+	return filepath.Join(d.dir, "objects", prefix, key)
+}
+
+// reload rebuilds the in-memory index: replay index.log (tolerating a
+// truncated tail and unknown lines), then sweep the objects tree for
+// entries the index missed (a crash between rename and index append, or
+// another process's writes). Every surviving entry is validated; corrupt
+// ones are skipped with a warning.
+func (d *Disk) reload() error {
+	if f, err := os.Open(d.indexPath()); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 4096), 1<<20)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) < 2 {
+				continue // truncated or foreign line
+			}
+			switch fields[0] {
+			case indexPut:
+				d.sizes[fields[1]] = -1 // size learned during validation
+			case indexDel:
+				delete(d.sizes, fields[1])
+			}
+		}
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	// Union with the directory contents.
+	prefixes, err := os.ReadDir(filepath.Join(d.dir, "objects"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, p := range prefixes {
+		if !p.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(d.dir, "objects", p.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if !e.Type().IsRegular() {
+				continue
+			}
+			if _, ok := d.sizes[e.Name()]; !ok {
+				d.sizes[e.Name()] = -1
+			}
+		}
+	}
+
+	// Validate what we believe we have.
+	for key := range d.sizes {
+		payload, err := d.readEntry(key)
+		if err != nil {
+			d.log.Warn("store: skipping corrupt entry on reload", "key", key, "error", err.Error())
+			delete(d.sizes, key)
+			continue
+		}
+		d.sizes[key] = int64(len(payload))
+		d.bytes += int64(len(payload))
+	}
+	return nil
+}
+
+// readEntry reads and validates one entry file, returning its payload.
+func (d *Disk) readEntry(key string) ([]byte, error) {
+	raw, err := os.ReadFile(d.objectPath(key))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < diskHeaderLen || string(raw[:len(diskMagic)]) != diskMagic {
+		return nil, fmt.Errorf("bad magic or truncated header (%d bytes)", len(raw))
+	}
+	n := binary.BigEndian.Uint64(raw[len(diskMagic):])
+	sum := binary.BigEndian.Uint32(raw[len(diskMagic)+8:])
+	payload := raw[diskHeaderLen:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("payload is %d bytes, header says %d", len(payload), n)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("payload CRC mismatch")
+	}
+	return payload, nil
+}
+
+// Get returns the entry's payload. A key absent from the in-memory index
+// is probed on disk before reporting a miss, so entries written by other
+// processes sharing the directory are found.
+func (d *Disk) Get(key string) ([]byte, bool) {
+	d.mu.Lock()
+	_, known := d.sizes[key]
+	d.mu.Unlock()
+	payload, err := d.readEntry(key)
+	if err != nil {
+		if known {
+			if !os.IsNotExist(err) {
+				d.log.Warn("store: dropping unreadable entry", "key", key, "error", err.Error())
+			}
+			d.mu.Lock()
+			d.dropLocked(key)
+			d.mu.Unlock()
+		}
+		return nil, false
+	}
+	if !known {
+		d.mu.Lock()
+		if _, ok := d.sizes[key]; !ok {
+			d.sizes[key] = int64(len(payload))
+			d.bytes += int64(len(payload))
+		}
+		d.mu.Unlock()
+	}
+	return payload, true
+}
+
+// Put writes the entry atomically (temp file, fsync, rename) and appends
+// an fsync'd index record. Persistent stores never evict, so it always
+// returns nil; a write failure is logged and the entry simply stays
+// absent.
+func (d *Disk) Put(key string, val []byte) []string {
+	if err := d.writeEntry(key, val); err != nil {
+		d.log.Warn("store: put failed", "key", key, "error", err.Error())
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if prev, ok := d.sizes[key]; ok {
+		d.bytes -= prev
+	}
+	d.sizes[key] = int64(len(val))
+	d.bytes += int64(len(val))
+	if d.index != nil {
+		line := indexPut + " " + key + " " + strconv.Itoa(len(val)) + "\n"
+		if _, err := d.index.WriteString(line); err == nil {
+			d.index.Sync()
+		}
+	}
+	return nil
+}
+
+func (d *Disk) writeEntry(key string, val []byte) error {
+	tmp, err := os.CreateTemp(filepath.Join(d.dir, "tmp"), key+".*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	header := make([]byte, diskHeaderLen)
+	copy(header, diskMagic)
+	binary.BigEndian.PutUint64(header[len(diskMagic):], uint64(len(val)))
+	binary.BigEndian.PutUint32(header[len(diskMagic)+8:], crc32.ChecksumIEEE(val))
+	if _, err := tmp.Write(header); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	dst := d.objectPath(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return err
+	}
+	// Persist the rename itself; best-effort (some filesystems reject
+	// directory fsync).
+	if dirf, err := os.Open(filepath.Dir(dst)); err == nil {
+		dirf.Sync()
+		dirf.Close()
+	}
+	return nil
+}
+
+// Remove deletes the entry file and records a tombstone in the index.
+func (d *Disk) Remove(key string) {
+	os.Remove(d.objectPath(key))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropLocked(key)
+	if d.index != nil {
+		if _, err := d.index.WriteString(indexDel + " " + key + "\n"); err == nil {
+			d.index.Sync()
+		}
+	}
+}
+
+func (d *Disk) dropLocked(key string) {
+	if prev, ok := d.sizes[key]; ok {
+		d.bytes -= prev
+		delete(d.sizes, key)
+	}
+}
+
+// Len returns the number of entries believed present.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sizes)
+}
+
+// SizeBytes returns the total payload bytes believed present.
+func (d *Disk) SizeBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}
+
+// Close closes the index file handle.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.index == nil {
+		return nil
+	}
+	err := d.index.Close()
+	d.index = nil
+	return err
+}

@@ -1,0 +1,44 @@
+// Package store is the content-addressed result store behind the
+// evaluation service's cache and the fleet coordinator's unit-level result
+// reuse. Keys are the hex SHA-256 of a canonical job (or work-unit) spec,
+// so an entry is by construction the exact result of the sweep it names:
+// two stores sharing a key hold interchangeable values, which is what lets
+// results dedupe across server restarts and across nodes sharing a
+// directory.
+//
+// Three implementations:
+//
+//   - Memory: a bounded in-process LRU (entry-count and approximate-byte
+//     limits) — the pre-fleet single-process cache.
+//   - Disk: a persistent on-disk store (atomic write-temp-rename, fsync'd
+//     append-only index, corruption-tolerant reload) safe for concurrent
+//     writers on one directory.
+//   - Tiered: a Memory read-through layer over a Disk (or any) backing
+//     store.
+package store
+
+// Store is a content-addressed blob store. All implementations are safe
+// for concurrent use.
+type Store interface {
+	// Get returns the stored value for key, or false when absent.
+	Get(key string) ([]byte, bool)
+
+	// Put stores val under key, replacing any existing entry, and returns
+	// the keys that became unretrievable to make room (nil for persistent
+	// stores). The owner uses the returned keys to drop its own
+	// bookkeeping for evicted results.
+	Put(key string, val []byte) (evicted []string)
+
+	// Remove drops an entry if present.
+	Remove(key string)
+
+	// Len returns the number of retrievable entries.
+	Len() int
+
+	// SizeBytes returns the approximate total payload bytes held.
+	SizeBytes() int64
+
+	// Close releases resources (file handles); the store is unusable
+	// afterwards. Memory stores treat it as a no-op.
+	Close() error
+}

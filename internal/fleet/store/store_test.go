@@ -1,0 +1,238 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMemoryLRUEntryBound(t *testing.T) {
+	m := NewMemory(2, 0)
+	m.Put("a", []byte("1"))
+	m.Put("b", []byte("2"))
+	if _, ok := m.Get("a"); !ok { // promote a
+		t.Fatal("a missing")
+	}
+	evicted := m.Put("c", []byte("3"))
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if _, ok := m.Get("b"); ok {
+		t.Error("b still present after eviction")
+	}
+	if m.Len() != 2 {
+		t.Errorf("len = %d, want 2", m.Len())
+	}
+}
+
+func TestMemoryByteBound(t *testing.T) {
+	m := NewMemory(100, 100)
+	m.Put("a", make([]byte, 60))
+	m.Put("b", make([]byte, 30))
+	if m.SizeBytes() != 90 {
+		t.Fatalf("bytes = %d, want 90", m.SizeBytes())
+	}
+	// 60+30+50 > 100: the oldest entries go until the bound holds.
+	evicted := m.Put("c", make([]byte, 50))
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted %v, want [a]", evicted)
+	}
+	if m.SizeBytes() != 80 {
+		t.Errorf("bytes = %d, want 80", m.SizeBytes())
+	}
+	// An entry larger than the whole bound still lands; everything else
+	// is evicted but the newest entry is never dropped.
+	evicted = m.Put("huge", make([]byte, 500))
+	if m.Len() != 1 || len(evicted) != 2 {
+		t.Errorf("len = %d evicted = %v, want the huge entry alone", m.Len(), evicted)
+	}
+	if _, ok := m.Get("huge"); !ok {
+		t.Error("huge entry missing")
+	}
+	// Refreshing an entry in place adjusts the byte accounting.
+	m.Put("huge", make([]byte, 10))
+	if m.SizeBytes() != 10 {
+		t.Errorf("bytes after shrink = %d, want 10", m.SizeBytes())
+	}
+}
+
+func TestDiskRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte(`{"result": "big sweep"}`)
+	d.Put("abc123", want)
+	d.Put("def456", []byte("other"))
+	d.Remove("def456")
+	if got, ok := d.Get("abc123"); !ok || !bytes.Equal(got, want) {
+		t.Fatalf("get = %q %v", got, ok)
+	}
+	if d.Len() != 1 {
+		t.Errorf("len = %d, want 1", d.Len())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same directory sees the surviving entry and
+	// honors the tombstone.
+	d2, err := OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got, ok := d2.Get("abc123"); !ok || !bytes.Equal(got, want) {
+		t.Fatalf("reopened get = %q %v", got, ok)
+	}
+	if _, ok := d2.Get("def456"); ok {
+		t.Error("removed entry resurrected on reload")
+	}
+	if d2.SizeBytes() != int64(len(want)) {
+		t.Errorf("reopened bytes = %d, want %d", d2.SizeBytes(), len(want))
+	}
+}
+
+func TestDiskCorruptEntrySkippedOnReload(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("good", []byte("fine"))
+	d.Put("truncated", []byte("this payload will be cut"))
+	d.Put("garbage", []byte("this payload will be clobbered"))
+	d.Close()
+
+	// Truncate one entry mid-payload and overwrite another with noise.
+	truncPath := filepath.Join(dir, "objects", "tr", "truncated")
+	raw, err := os.ReadFile(truncPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truncPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "objects", "ga", "garbage"), []byte("not a store entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	d2, err := OpenDisk(dir, logger)
+	if err != nil {
+		t.Fatalf("reload with corrupt entries must not fail: %v", err)
+	}
+	defer d2.Close()
+	if got, ok := d2.Get("good"); !ok || string(got) != "fine" {
+		t.Errorf("good entry lost: %q %v", got, ok)
+	}
+	for _, key := range []string{"truncated", "garbage"} {
+		if _, ok := d2.Get(key); ok {
+			t.Errorf("%s entry served despite corruption", key)
+		}
+	}
+	if d2.Len() != 1 {
+		t.Errorf("len = %d, want 1", d2.Len())
+	}
+	if n := strings.Count(logBuf.String(), "skipping corrupt entry"); n != 2 {
+		t.Errorf("warnings = %d, want 2\n%s", n, logBuf.String())
+	}
+}
+
+func TestDiskConcurrentWritersSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	// Two independent store instances (as two processes would open) plus
+	// goroutine-level concurrency within each.
+	a, err := OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const keys = 32
+	var wg sync.WaitGroup
+	for i := 0; i < keys; i++ {
+		for _, d := range []*Disk{a, b} {
+			wg.Add(1)
+			go func(d *Disk, i int) {
+				defer wg.Done()
+				key := fmt.Sprintf("key%04d", i)
+				d.Put(key, []byte(fmt.Sprintf("value-%04d", i)))
+			}(d, i)
+		}
+	}
+	wg.Wait()
+
+	// Every key must be readable from both instances (cross-instance
+	// visibility via the on-disk probe), with the exact value.
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key%04d", i)
+		want := fmt.Sprintf("value-%04d", i)
+		for name, d := range map[string]*Disk{"a": a, "b": b} {
+			got, ok := d.Get(key)
+			if !ok || string(got) != want {
+				t.Fatalf("%s.Get(%s) = %q %v, want %q", name, key, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestDiskCrossProcessVisibilityWithoutReload(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := OpenDisk(dir, nil)
+	defer a.Close()
+	b, _ := OpenDisk(dir, nil)
+	defer b.Close()
+	a.Put("shared", []byte("written by a"))
+	if got, ok := b.Get("shared"); !ok || string(got) != "written by a" {
+		t.Fatalf("b.Get = %q %v, want the entry a wrote", got, ok)
+	}
+}
+
+func TestTieredPromotesAndAbsorbsEvictions(t *testing.T) {
+	dir := t.TempDir()
+	back, err := OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := NewMemory(1, 0)
+	ti := NewTiered(front, back)
+	defer ti.Close()
+
+	if evicted := ti.Put("a", []byte("1")); evicted != nil {
+		t.Errorf("tiered Put reported evictions %v", evicted)
+	}
+	if evicted := ti.Put("b", []byte("2")); evicted != nil {
+		t.Errorf("tiered Put reported evictions %v", evicted)
+	}
+	// "a" fell out of the 1-entry front tier but the back tier holds it.
+	if _, ok := front.Get("a"); ok {
+		t.Error("front tier kept a beyond its bound")
+	}
+	if got, ok := ti.Get("a"); !ok || string(got) != "1" {
+		t.Fatalf("tiered get = %q %v", got, ok)
+	}
+	// The read-through promoted it back to the front tier.
+	if _, ok := front.Get("a"); !ok {
+		t.Error("back-tier hit was not promoted")
+	}
+	if ti.Len() != 2 {
+		t.Errorf("len = %d, want 2 (durable tier)", ti.Len())
+	}
+	ti.Remove("a")
+	if _, ok := ti.Get("a"); ok {
+		t.Error("removed entry still retrievable")
+	}
+}

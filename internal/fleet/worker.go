@@ -1,0 +1,313 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"equinox/internal/obs"
+)
+
+// RunFunc executes one work unit's canonical spec and returns its
+// evaluation JSON. The context is cancelled when the coordinator
+// withdraws the lease (job cancelled, lease re-granted) or the worker
+// shuts down.
+type RunFunc func(ctx context.Context, unit Unit) ([]byte, error)
+
+// WorkerConfig tunes a fleet worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// Name is the worker's stable self-chosen name (shows up in logs and
+	// per-worker metrics on the coordinator).
+	Name string
+	// Run executes one unit. Required.
+	Run RunFunc
+	// Parallelism is the number of units executed concurrently
+	// (default 1).
+	Parallelism int
+	// PollInterval paces lease polling while the queue is empty
+	// (default 500ms).
+	PollInterval time.Duration
+	// HeartbeatInterval paces lease renewal; it should be well under the
+	// coordinator's lease TTL (default 2s).
+	HeartbeatInterval time.Duration
+	// Logger receives worker logs (nil discards).
+	Logger *slog.Logger
+	// Client is the HTTP client used for protocol calls (nil uses a
+	// client with a 30s timeout).
+	Client *http.Client
+}
+
+// Worker pulls units from a coordinator and executes them. Create one
+// with NewWorker and drive it with Run.
+type Worker struct {
+	cfg WorkerConfig
+	log *slog.Logger
+	hc  *http.Client
+
+	mu     sync.Mutex
+	leases map[string]*workerLease
+}
+
+type workerLease struct {
+	cancel    context.CancelFunc
+	abandoned bool // coordinator withdrew it: do not post a result
+}
+
+// NewWorker validates cfg and returns a worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("fleet: worker needs a coordinator URL")
+	}
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("fleet: worker needs a name")
+	}
+	if cfg.Run == nil {
+		return nil, fmt.Errorf("fleet: worker needs a Run function")
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 2 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Worker{
+		cfg:    cfg,
+		log:    cfg.Logger,
+		hc:     hc,
+		leases: map[string]*workerLease{},
+	}, nil
+}
+
+// Run polls for units and executes them until ctx is cancelled. It always
+// returns ctx.Err() after all in-flight units have wound down.
+func (w *Worker) Run(ctx context.Context) error {
+	w.log.Info("worker starting",
+		"worker", w.cfg.Name, "coordinator", w.cfg.Coordinator,
+		"parallelism", w.cfg.Parallelism)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.heartbeatLoop(ctx)
+	}()
+	for i := 0; i < w.cfg.Parallelism; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			w.unitLoop(ctx, slot)
+		}(i)
+	}
+	wg.Wait()
+	w.log.Info("worker stopped", "worker", w.cfg.Name)
+	return ctx.Err()
+}
+
+func (w *Worker) unitLoop(ctx context.Context, slot int) {
+	for ctx.Err() == nil {
+		grant, ok, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.log.Warn("lease request failed", "slot", slot, "error", err)
+			sleepCtx(ctx, w.cfg.PollInterval)
+			continue
+		}
+		if !ok {
+			sleepCtx(ctx, w.cfg.PollInterval)
+			continue
+		}
+		w.execute(ctx, grant)
+	}
+}
+
+// execute runs one granted unit and posts its outcome (unless the lease
+// was withdrawn mid-run).
+func (w *Worker) execute(ctx context.Context, grant LeaseResponse) {
+	unitCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	wl := &workerLease{cancel: cancel}
+	w.mu.Lock()
+	w.leases[grant.LeaseID] = wl
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.leases, grant.LeaseID)
+		w.mu.Unlock()
+	}()
+
+	w.log.Info("unit started",
+		"leaseId", grant.LeaseID, "jobId", grant.Unit.JobID,
+		"scheme", grant.Unit.Scheme, "benchmark", grant.Unit.Benchmark)
+	result, runErr := w.cfg.Run(unitCtx, grant.Unit)
+
+	w.mu.Lock()
+	abandoned := wl.abandoned
+	w.mu.Unlock()
+	if abandoned {
+		w.log.Info("unit abandoned (lease withdrawn)", "leaseId", grant.LeaseID)
+		return
+	}
+	if ctx.Err() != nil && runErr != nil {
+		// Shutting down: the lease will expire and the unit will be
+		// re-granted elsewhere; a spurious "context canceled" failure
+		// would burn one of the unit's attempts.
+		return
+	}
+
+	req := CompleteRequest{LeaseID: grant.LeaseID}
+	if runErr != nil {
+		req.Error = runErr.Error()
+		w.log.Warn("unit failed",
+			"leaseId", grant.LeaseID, "jobId", grant.Unit.JobID, "error", runErr)
+	} else {
+		req.Result = result
+		w.log.Info("unit finished",
+			"leaseId", grant.LeaseID, "jobId", grant.Unit.JobID,
+			"resultBytes", len(result))
+	}
+	if err := w.complete(ctx, req); err != nil {
+		w.log.Warn("completion not delivered; unit will be re-leased",
+			"leaseId", grant.LeaseID, "error", err)
+	}
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	tick := time.NewTicker(w.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		ids := make([]string, 0, len(w.leases))
+		for id := range w.leases {
+			ids = append(ids, id)
+		}
+		w.mu.Unlock()
+		var resp HeartbeatResponse
+		err := w.post(ctx, "/v1/fleet/heartbeat",
+			HeartbeatRequest{Worker: w.cfg.Name, LeaseIDs: ids}, &resp)
+		if err != nil {
+			if ctx.Err() == nil {
+				w.log.Warn("heartbeat failed", "error", err)
+			}
+			continue
+		}
+		if len(resp.Canceled) > 0 {
+			w.mu.Lock()
+			for _, id := range resp.Canceled {
+				if wl, ok := w.leases[id]; ok {
+					wl.abandoned = true
+					wl.cancel()
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// lease asks for a unit; ok is false when the queue is empty.
+func (w *Worker) lease(ctx context.Context) (LeaseResponse, bool, error) {
+	var resp LeaseResponse
+	status, err := w.postStatus(ctx, "/v1/fleet/lease",
+		LeaseRequest{Worker: w.cfg.Name}, &resp)
+	if err != nil {
+		return LeaseResponse{}, false, err
+	}
+	if status == http.StatusNoContent {
+		return LeaseResponse{}, false, nil
+	}
+	return resp, true, nil
+}
+
+// complete posts a unit outcome with bounded retries, so a transient
+// network blip does not cost a finished simulation. A 410 (lease already
+// gone) is success: the coordinator no longer wants the result.
+func (w *Worker) complete(ctx context.Context, req CompleteRequest) error {
+	backoff := 200 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			sleepCtx(ctx, backoff)
+			backoff *= 2
+		}
+		status, err := w.postStatus(ctx, "/v1/fleet/complete", req, nil)
+		if err == nil || status == http.StatusGone {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return lastErr
+}
+
+func (w *Worker) post(ctx context.Context, path string, body, out any) error {
+	_, err := w.postStatus(ctx, path, body, out)
+	return err
+}
+
+// postStatus does one protocol POST. Status is returned for the
+// no-content and gone cases; 5xx/4xx other than those become errors.
+func (w *Worker) postStatus(ctx context.Context, path string, body, out any) (int, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.cfg.Coordinator+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		return resp.StatusCode, nil
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		if out != nil {
+			if err := json.NewDecoder(io.LimitReader(resp.Body, maxProtocolBody)).Decode(out); err != nil {
+				return resp.StatusCode, fmt.Errorf("decoding %s response: %w", path, err)
+			}
+		}
+		return resp.StatusCode, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return resp.StatusCode, fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,40 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenPath is the committed canonical result of shardSpec(), the
+// reference both this test and the fleet smoke test compare against.
+// Regenerate with GOLDEN_UPDATE=1 go test ./internal/service -run TestGoldenSmallSweep
+const goldenPath = "testdata/golden_fleet_small.json"
+
+// TestGoldenSmallSweep pins the single-process canonical result of the
+// smoke-test sweep. The simulator is seeded and the design search is
+// deterministic, so the canonical document (phase timings stripped) must
+// be byte-stable across machines and runs; the fleet smoke test compares
+// a sharded 2-worker run against these same bytes.
+func TestGoldenSmallSweep(t *testing.T) {
+	got := singleProcessCanonical(t, shardSpec())
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with GOLDEN_UPDATE=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("canonical result drifted from %s.\nIf the simulator changed intentionally, regenerate with GOLDEN_UPDATE=1.\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, got, want)
+	}
+}

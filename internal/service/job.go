@@ -56,6 +56,14 @@ type job struct {
 	// (GET /v1/jobs/{id}/trace); nil until the job completes.
 	trace []byte
 
+	// events fans job progress out to SSE subscribers
+	// (GET /v1/jobs/{id}/events); closed after the terminal event.
+	events *eventHub
+
+	// sharded marks jobs executed by the fleet coordinator rather than
+	// the local worker pool.
+	sharded bool
+
 	doneRuns  atomic.Int64
 	totalRuns int
 }

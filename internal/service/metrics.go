@@ -31,10 +31,10 @@ type metrics struct {
 	flightTail   *obs.Counter
 }
 
-// newMetrics builds the registry. The workers / queue-depth / cache-entries
+// newMetrics builds the registry. The workers / queue-depth / cache
 // gauges are scrape-time callbacks supplied by the server, replacing the
 // values it used to thread into an ad-hoc text writer.
-func newMetrics(workers func() float64, queueDepth func() float64, cacheEntries func() float64) *metrics {
+func newMetrics(workers, queueDepth, cacheEntries, cacheBytes func() float64) *metrics {
 	reg := obs.NewRegistry()
 	m := &metrics{
 		reg:  reg,
@@ -71,6 +71,7 @@ func newMetrics(workers func() float64, queueDepth func() float64, cacheEntries 
 	reg.GaugeFunc("equinox_workers", "Size of the evaluation worker pool.", workers)
 	reg.GaugeFunc("equinox_queue_depth", "Jobs waiting in the submission queue.", queueDepth)
 	reg.GaugeFunc("equinox_cache_entries", "Entries in the result cache.", cacheEntries)
+	reg.GaugeFunc("equinox_cache_bytes", "Approximate bytes of cached result payloads.", cacheBytes)
 	obs.RegisterBuildInfo(reg)
 	return m
 }

@@ -16,22 +16,37 @@ import (
 	"time"
 
 	"equinox"
+	"equinox/internal/fleet"
+	"equinox/internal/fleet/store"
 	"equinox/internal/obs"
 )
 
 // Config sizes the server.
 type Config struct {
-	// Workers is the number of concurrent evaluations (default 2).
+	// Workers is the number of concurrent local evaluations (default 2).
 	Workers int
 	// JobParallelism is each evaluation's internal simulation parallelism
 	// (default GOMAXPROCS/Workers, minimum 1), so a fully busy pool uses
 	// about one goroutine per core.
 	JobParallelism int
-	// CacheEntries bounds the content-addressed result cache (default 128).
+	// CacheEntries bounds the in-memory result cache by entry count
+	// (default 128).
 	CacheEntries int
+	// CacheBytes additionally bounds the in-memory result cache by
+	// approximate payload bytes (0 = entry bound only).
+	CacheBytes int64
 	// QueueDepth bounds the submission queue; submissions beyond it are
 	// rejected with 503 (default 256).
 	QueueDepth int
+	// Store is an optional persistent result tier (typically
+	// store.OpenDisk). Completed results — whole sweeps and fleet work
+	// units — are written through to it and served from it after
+	// restarts; processes sharing a directory share results. The server
+	// does not close it.
+	Store store.Store
+	// Fleet tunes the coordinator (lease TTL, retry budget, ...). Its
+	// Store, Logger, and Metrics fields are supplied by the server.
+	Fleet fleet.Config
 	// Logger receives structured access and job-lifecycle logs; nil discards
 	// them (the right default for embedded and test servers).
 	Logger *slog.Logger
@@ -56,8 +71,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server executes evaluation jobs on a bounded worker pool and serves
-// results from a content-addressed LRU cache. Create one with New, mount
+// Server executes evaluation jobs and serves results from a
+// content-addressed store. Small jobs run on a bounded local worker pool;
+// when fleet workers are registered, multi-run sweeps are sharded into
+// per-(scheme, benchmark) units and fanned out to them, degrading back to
+// local execution when no workers are alive. Create one with New, mount
 // Handler on an http.Server, and drain it with Shutdown.
 type Server struct {
 	cfg Config
@@ -65,29 +83,35 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	queue chan *job
+	queue *fleet.FairQueue[*job]
+	coord *fleet.Coordinator
 	met   *metrics
 	log   *slog.Logger
 
 	mu     sync.Mutex
 	closed bool
 	jobs   map[string]*job
-	cache  *Cache
+	store  store.Store
 
 	wg sync.WaitGroup
 }
 
-// New starts a server with cfg.Workers evaluation workers.
+// New starts a server with cfg.Workers local evaluation workers and a
+// fleet coordinator awaiting remote ones.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	var st store.Store = store.NewMemory(cfg.CacheEntries, cfg.CacheBytes)
+	if cfg.Store != nil {
+		st = store.NewTiered(st, cfg.Store)
+	}
 	s := &Server{
 		cfg:        cfg,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *job, cfg.QueueDepth),
+		queue:      fleet.NewFairQueue[*job](cfg.QueueDepth),
 		jobs:       map[string]*job{},
-		cache:      NewCache(cfg.CacheEntries),
+		store:      st,
 		log:        cfg.Logger,
 	}
 	if s.log == nil {
@@ -95,18 +119,38 @@ func New(cfg Config) *Server {
 	}
 	s.met = newMetrics(
 		func() float64 { return float64(cfg.Workers) },
-		func() float64 { return float64(len(s.queue)) },
-		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.cache.Len())
-		},
+		func() float64 { return float64(s.queue.Len()) },
+		func() float64 { return float64(s.store.Len()) },
+		func() float64 { return float64(s.store.SizeBytes()) },
 	)
+
+	fcfg := cfg.Fleet
+	fcfg.Store = s.store
+	fcfg.Logger = s.log
+	fcfg.Metrics = fleet.NewMetrics(s.met.reg)
+	s.coord = fleet.NewCoordinator(fcfg)
+	s.met.reg.GaugeFunc("equinox_fleet_workers",
+		"Fleet workers seen within the worker TTL.",
+		func() float64 { return float64(s.coord.ActiveWorkers()) })
+	s.met.reg.GaugeFunc("equinox_fleet_units_pending",
+		"Work units queued or backing off for retry.",
+		func() float64 { return float64(s.coord.UnitsPending()) })
+	s.met.reg.GaugeFunc("equinox_fleet_units_running",
+		"Work units currently leased to workers.",
+		func() float64 { return float64(s.coord.UnitsRunning()) })
+	s.met.reg.GaugeFunc("equinox_fleet_oldest_lease_age_seconds",
+		"Age of the oldest outstanding lease (stuck-fleet indicator).",
+		func() float64 { return s.coord.OldestLeaseAgeSeconds() })
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for j := range s.queue {
+			for {
+				j, ok := s.queue.Pop()
+				if !ok {
+					return
+				}
 				s.run(j)
 			}
 		}()
@@ -114,14 +158,15 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Shutdown stops accepting submissions and drains in-flight jobs. If ctx
-// expires first, the remaining jobs are cancelled and Shutdown returns
-// ctx.Err() once the workers exit.
+// Shutdown stops accepting submissions and drains in-flight local jobs.
+// If ctx expires first, the remaining jobs are cancelled and Shutdown
+// returns ctx.Err() once the workers exit. The fleet coordinator stops
+// either way; sharded jobs still in flight do not survive the process.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		s.queue.Close()
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -129,15 +174,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
 		s.baseCancel()
-		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.coord.Close()
+	return err
 }
 
 // run executes one queued job on the calling worker.
@@ -161,7 +208,11 @@ func (s *Server) run(j *job) {
 		return
 	}
 	cfg.Parallelism = s.cfg.JobParallelism
-	cfg.Progress = func(done, total int) { j.doneRuns.Store(int64(done)) }
+	total := j.totalRuns
+	cfg.Progress = func(done, _ int) {
+		j.doneRuns.Store(int64(done))
+		j.events.publish(fleet.Event{Type: "progress", Done: done, Total: total})
+	}
 	s.met.workersBusy.Add(1)
 	ev, err := equinox.RunEvaluationContext(ctx, cfg)
 	s.met.workersBusy.Add(-1)
@@ -172,21 +223,23 @@ func (s *Server) run(j *job) {
 func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // finish records a job's outcome and, on success, stores its result in the
-// cache, dropping the bookkeeping of any entries the insert evicted.
+// store, dropping the bookkeeping of any entries the insert evicted.
 func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 	now := time.Now()
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.mu.Lock()
-		if j.state != JobCancelled { // cancelled by Shutdown, not DELETE
+		byShutdown := j.state != JobCancelled // DELETE already recorded the cancel
+		if byShutdown {
 			j.state = JobCancelled
 			j.finished = now
-			s.met.jobsCancelled.Add(1)
-			s.mu.Unlock()
-			j.log.Info("job cancelled", "state", JobCancelled, "runMs", durMS(now.Sub(j.started)))
-			return
 		}
 		s.mu.Unlock()
+		if byShutdown {
+			s.met.jobsCancelled.Add(1)
+			j.log.Info("job cancelled", "state", JobCancelled, "runMs", durMS(now.Sub(j.started)))
+			j.events.publish(fleet.Event{Type: "job", Status: string(JobCancelled)})
+		}
 	case err != nil:
 		s.mu.Lock()
 		j.state = JobFailed
@@ -195,6 +248,7 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 		s.mu.Unlock()
 		s.met.jobsFailed.Add(1)
 		j.log.Error("job failed", "state", JobFailed, "error", err.Error(), "runMs", durMS(now.Sub(j.started)))
+		j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: err.Error()})
 	default:
 		var buf bytes.Buffer
 		werr := ev.WriteJSON(&buf)
@@ -225,38 +279,43 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 			s.met.jobsFailed.Add(1)
 			s.mu.Unlock()
 			j.log.Error("job failed", "state", JobFailed, "error", werr.Error(), "runMs", durMS(now.Sub(j.started)))
-			return
+			j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: werr.Error()})
 		case j.state == JobCancelled:
-			// DELETE raced with completion; honor the cancellation.
+			// DELETE raced with completion; honor the cancellation. The
+			// hub closed when the DELETE landed.
+			s.mu.Unlock()
 		default:
 			j.state = JobDone
 			j.finished = now
 			j.trace = traceBuf
-			for _, k := range s.cache.Put(j.id, buf.Bytes()) {
+			for _, k := range s.store.Put(j.id, buf.Bytes()) {
 				delete(s.jobs, k)
 			}
 			s.met.jobsCompleted.Add(1)
 			s.mu.Unlock()
 			j.log.Info("job completed", "state", JobDone,
 				"runMs", durMS(now.Sub(j.started)), "resultBytes", buf.Len())
-			return
+			j.events.publish(fleet.Event{Type: "job", Status: string(JobDone)})
 		}
-		s.mu.Unlock()
 	}
+	j.events.close()
 }
 
 // Handler returns the server's HTTP API:
 //
-//	POST   /v1/jobs            submit a JobSpec; identical specs share one job ID
-//	GET    /v1/jobs/{id}       status, progress, and (when done) the result JSON
-//	GET    /v1/jobs/{id}/trace Perfetto trace artifact of a Trace-flagged job
-//	DELETE /v1/jobs/{id}       cancel a queued or running job
-//	GET    /v1/metrics         text-format counters and gauges
-//	GET    /v1/healthz         liveness probe
+//	POST   /v1/jobs              submit a JobSpec; identical specs share one job ID
+//	GET    /v1/jobs/{id}         status, progress, and (when done) the result JSON
+//	GET    /v1/jobs/{id}/events  server-sent progress events until the job ends
+//	GET    /v1/jobs/{id}/trace   Perfetto trace artifact of a Trace-flagged job
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/metrics           text-format counters and gauges
+//	GET    /v1/healthz           liveness probe
+//	POST   /v1/fleet/*           coordinator/worker protocol (lease, complete, heartbeat)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -264,6 +323,7 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	fleet.RegisterHandlers(mux, s.coord, s.log)
 	return obs.Middleware(mux, s.met.http, s.log, routeOf)
 }
 
@@ -277,8 +337,12 @@ func routeOf(r *http.Request) string {
 		return "/v1/jobs"
 	case strings.HasPrefix(p, "/v1/jobs/") && strings.HasSuffix(p, "/trace"):
 		return "/v1/jobs/{id}/trace"
+	case strings.HasPrefix(p, "/v1/jobs/") && strings.HasSuffix(p, "/events"):
+		return "/v1/jobs/{id}/events"
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		return "/v1/jobs/{id}"
+	case p == "/v1/fleet/lease", p == "/v1/fleet/complete", p == "/v1/fleet/heartbeat":
+		return p
 	case p == "/v1/metrics":
 		return "/v1/metrics"
 	case p == "/v1/healthz":
@@ -326,7 +390,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.jobs[key]; ok {
 		switch {
 		case j.state == JobDone:
-			if _, hit := s.cache.Get(key); hit {
+			if _, hit := s.store.Get(key); hit {
 				s.met.cacheHits.Add(1)
 				resp := SubmitResponse{ID: key, Status: JobDone, Cached: true, Runs: j.totalRuns}
 				s.mu.Unlock()
@@ -344,11 +408,57 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Failed or cancelled (or evicted): replace with a fresh attempt.
+	} else if _, hit := s.store.Get(key); hit {
+		// No live record but the store has the result — typically a
+		// previous process's job surviving in the persistent tier.
+		s.met.cacheHits.Add(1)
+		s.mu.Unlock()
+		s.log.Info("job cache hit", "jobId", key, "state", JobDone, "cache", "hit")
+		writeJSON(w, http.StatusOK, SubmitResponse{ID: key, Status: JobDone, Cached: true, Runs: canon.Runs()})
+		return
 	}
 	j := s.newJobLocked(key, canon, obs.RequestIDFrom(r.Context()))
-	select {
-	case s.queue <- j:
-	default:
+	// Shard multi-run sweeps across the fleet while workers are alive.
+	// Trace-flagged jobs always run locally: the flight recorder's
+	// artifact is process-local state.
+	if s.coord.ActiveWorkers() > 0 && !canon.Trace && canon.Runs() > 1 {
+		j.sharded = true
+		j.state = JobRunning
+		j.started = time.Now()
+		s.met.jobsSubmitted.Add(1)
+		s.met.cacheMisses.Add(1)
+		resp := SubmitResponse{ID: key, Status: JobRunning, Runs: j.totalRuns}
+		s.mu.Unlock()
+		units, uerr := unitsFor(key, canon)
+		if uerr == nil {
+			uerr = s.submitSharded(j, units)
+		}
+		if uerr != nil {
+			// Fleet queue saturated (or unit derivation failed): degrade
+			// to the local pool.
+			s.mu.Lock()
+			j.sharded = false
+			j.state = JobQueued
+			j.started = time.Time{}
+			if qerr := s.queue.Push(j, canon.class()); qerr != nil {
+				delete(s.jobs, key)
+				s.mu.Unlock()
+				httpError(w, http.StatusServiceUnavailable, "job queue is full")
+				return
+			}
+			resp.Status = JobQueued
+			s.mu.Unlock()
+			j.log.Info("job submitted", "state", JobQueued, "cache", "miss",
+				"runs", j.totalRuns, "fleetFallback", uerr.Error())
+			writeJSON(w, http.StatusAccepted, resp)
+			return
+		}
+		j.log.Info("job submitted", "state", JobRunning, "cache", "miss",
+			"runs", j.totalRuns, "sharded", true)
+		writeJSON(w, http.StatusAccepted, resp)
+		return
+	}
+	if err := s.queue.Push(j, canon.class()); err != nil {
 		delete(s.jobs, key)
 		s.mu.Unlock()
 		httpError(w, http.StatusServiceUnavailable, "job queue is full")
@@ -358,7 +468,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.met.cacheMisses.Add(1)
 	resp := SubmitResponse{ID: key, Status: JobQueued, Runs: j.totalRuns}
 	s.mu.Unlock()
-	j.log.Info("job submitted", "state", JobQueued, "cache", "miss", "runs", j.totalRuns)
+	j.log.Info("job submitted", "state", JobQueued, "cache", "miss",
+		"runs", j.totalRuns, "priority", canon.Priority)
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
@@ -376,6 +487,7 @@ func (s *Server) newJobLocked(key string, canon JobSpec, requestID string) *job 
 		cancel:    cancel,
 		requestID: requestID,
 		totalRuns: canon.Runs(),
+		events:    newEventHub(),
 		log: s.log.With(
 			"jobId", key,
 			"requestId", requestID,
@@ -392,12 +504,21 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[id]
 	if !ok {
 		s.mu.Unlock()
+		// A previous process's job may survive in the persistent store.
+		if res, hit := s.store.Get(id); hit {
+			writeJSON(w, http.StatusOK, JobStatus{
+				ID:     id,
+				Status: JobDone,
+				Result: json.RawMessage(res),
+			})
+			return
+		}
 		httpError(w, http.StatusNotFound, "no such job (completed results expire from the cache)")
 		return
 	}
 	st := j.status()
 	if j.state == JobDone {
-		if res, hit := s.cache.Get(id); hit {
+		if res, hit := s.store.Get(id); hit {
 			st.Result = json.RawMessage(res)
 		}
 	}
@@ -452,15 +573,30 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, st)
 		return
 	case JobCancelled: // idempotent
-	default:
-		j.cancel()
-		j.state = JobCancelled
-		j.finished = time.Now()
-		s.met.jobsCancelled.Add(1)
-		defer j.log.Info("job cancelled", "state", JobCancelled, "via", "delete")
+		st := j.status()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	wasQueued := j.state == JobQueued
+	sharded := j.sharded
+	j.cancel()
+	j.state = JobCancelled
+	j.finished = time.Now()
+	s.met.jobsCancelled.Add(1)
+	if wasQueued {
+		// Drop the job from the queue now, rather than letting a worker
+		// pop and discard it later, so the slot frees immediately.
+		s.queue.Remove(func(q *job) bool { return q == j })
 	}
 	st := j.status()
 	s.mu.Unlock()
+	if sharded {
+		s.coord.CancelJob(id)
+	}
+	j.log.Info("job cancelled", "state", JobCancelled, "via", "delete", "dequeued", wasQueued)
+	j.events.publish(fleet.Event{Type: "job", Status: string(JobCancelled)})
+	j.events.close()
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -469,8 +605,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.reg.WritePrometheus(w)
 }
 
-// keyOf hashes an already-canonical spec (see JobSpec.Key).
+// keyOf hashes an already-canonical spec (see JobSpec.Key). Priority is
+// zeroed first: it is scheduling advice, and the same sweep at any
+// priority shares one result.
 func keyOf(canon JobSpec) (string, error) {
+	canon.Priority = ""
 	raw, err := json.Marshal(canon)
 	if err != nil {
 		return "", err

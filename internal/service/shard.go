@@ -1,0 +1,93 @@
+package service
+
+import (
+	"encoding/json"
+	"time"
+
+	"equinox/internal/fleet"
+)
+
+// unitsFor derives a sharded job's work units: one canonical 1×1
+// (scheme, benchmark) JobSpec per run. Each unit spec is exactly what a
+// direct single-run submission would canonicalize to, so its content key
+// — the unit's identity in the result store — is shared with any other
+// sweep (or standalone job) that includes the same run.
+func unitsFor(jobID string, canon JobSpec) ([]fleet.Unit, error) {
+	units := make([]fleet.Unit, 0, canon.Runs())
+	for _, scheme := range canon.Schemes {
+		for _, bench := range canon.Benchmarks {
+			us := canon
+			us.Priority = "" // scheduling advice, not identity
+			us.Schemes = []string{scheme}
+			us.Benchmarks = []string{bench}
+			key, err := keyOf(us)
+			if err != nil {
+				return nil, err
+			}
+			raw, err := json.Marshal(us)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, fleet.Unit{
+				JobID:     jobID,
+				Key:       key,
+				Scheme:    scheme,
+				Benchmark: bench,
+				Spec:      raw,
+			})
+		}
+	}
+	return units, nil
+}
+
+// submitSharded hands the job to the fleet coordinator. Called without
+// s.mu held (the coordinator may fire callbacks synchronously for
+// store-cached units). An error means nothing was enqueued and the caller
+// should fall back to local execution.
+func (s *Server) submitSharded(j *job, units []fleet.Unit) error {
+	cb := fleet.JobCallbacks{
+		OnEvent: func(ev fleet.Event) {
+			j.doneRuns.Store(int64(ev.Done))
+			j.events.publish(ev)
+		},
+		OnDone: func(result []byte, err error) {
+			s.finishSharded(j, result, err)
+		},
+	}
+	return s.coord.SubmitJob(j.id, j.spec.class(), units, cb)
+}
+
+// finishSharded records a sharded job's outcome: the assembled canonical
+// evaluation document, or an assembly failure.
+func (s *Server) finishSharded(j *job, result []byte, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	if j.state == JobCancelled {
+		// DELETE raced with the last unit; the hub is already closed.
+		s.mu.Unlock()
+		return
+	}
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		j.finished = now
+		s.mu.Unlock()
+		s.met.jobsFailed.Add(1)
+		j.log.Error("job failed", "state", JobFailed, "error", err.Error(),
+			"runMs", durMS(now.Sub(j.started)))
+		j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: err.Error()})
+		j.events.close()
+		return
+	}
+	j.state = JobDone
+	j.finished = now
+	for _, k := range s.store.Put(j.id, result) {
+		delete(s.jobs, k)
+	}
+	s.mu.Unlock()
+	s.met.jobsCompleted.Add(1)
+	j.log.Info("job completed", "state", JobDone, "sharded", true,
+		"runMs", durMS(now.Sub(j.started)), "resultBytes", len(result))
+	j.events.publish(fleet.Event{Type: "job", Status: string(JobDone)})
+	j.events.close()
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"equinox"
+	"equinox/internal/fleet"
 	"equinox/internal/sim"
 )
 
@@ -38,6 +39,14 @@ type JobSpec struct {
 	// artifact at GET /v1/jobs/{id}/trace. Traced jobs hash to a different
 	// content key than untraced ones — their artifacts differ.
 	Trace bool `json:"trace,omitempty"`
+
+	// Priority selects the scheduling class: "interactive" for jobs a
+	// human is waiting on, "batch" (the default) for bulk sweeps.
+	// Interactive work is dequeued at a 3:1 weighted share, so a huge
+	// batch backlog cannot starve it. Priority is scheduling advice, not
+	// job identity: it is excluded from the content key, and the same
+	// sweep at any priority shares one result.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Canonicalize returns the spec with defaults made explicit and list fields
@@ -98,6 +107,14 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 	c.Benchmarks = append([]string(nil), c.Benchmarks...)
 	sort.Strings(c.Benchmarks)
 
+	switch c.Priority {
+	case "":
+		c.Priority = "batch"
+	case "interactive", "batch":
+	default:
+		return JobSpec{}, fmt.Errorf("service: priority must be \"interactive\" or \"batch\", not %q", c.Priority)
+	}
+
 	cfg, err := c.evalConfig()
 	if err != nil {
 		return JobSpec{}, err
@@ -106,6 +123,14 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 		return JobSpec{}, err
 	}
 	return c, nil
+}
+
+// class maps the canonical priority to its fleet queue class.
+func (s JobSpec) class() fleet.Class {
+	if s.Priority == "interactive" {
+		return fleet.Interactive
+	}
+	return fleet.Batch
 }
 
 // Key returns the content address of the spec: the hex SHA-256 of its

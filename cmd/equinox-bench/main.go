@@ -37,12 +37,19 @@ type schemeResult struct {
 }
 
 type report struct {
-	Date              string         `json:"date"`
-	GoVersion         string         `json:"go_version"`
-	Workload          string         `json:"workload"`
-	InstructionsPerPE int            `json:"instructions_per_pe"`
-	ProbeEvery        int64          `json:"probe_every,omitempty"`
-	Schemes           []schemeResult `json:"schemes"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	// CPUs records the measuring machine's core count — the context needed
+	// to read the "<scheme>@parN" sub-records (on one core the parallel
+	// stepper degrades to an inline loop, so @parN ≈ serial by design).
+	CPUs              int    `json:"cpus,omitempty"`
+	Workload          string `json:"workload"`
+	InstructionsPerPE int    `json:"instructions_per_pe"`
+	ProbeEvery        int64  `json:"probe_every,omitempty"`
+	// Parallel is the shard parallelism of the "<scheme>@parN" sub-records
+	// (0 = the record is serial-only).
+	Parallel int            `json:"parallel,omitempty"`
+	Schemes  []schemeResult `json:"schemes"`
 	// Baseline optionally embeds a previous report's scheme results for
 	// side-by-side before/after records (see -baseline).
 	Baseline []schemeResult `json:"baseline,omitempty"`
@@ -56,6 +63,8 @@ func main() {
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to embed for comparison")
 	probeEvery := flag.Int64("probe-every", 0,
 		"attach occupancy probes sampling every N cycles (0 = no probes), to measure their overhead")
+	parallel := flag.Int("parallel", 0,
+		"also measure each scheme with the deterministic parallel stepper at N shards, recorded as \"<scheme>@parN\" sub-records")
 	compare := flag.String("compare", "",
 		"baseline BENCH_*.json: compare it against the new record given as the next argument and exit nonzero on regression")
 	flag.Parse()
@@ -73,9 +82,11 @@ func main() {
 	rep := report{
 		Date:              time.Now().Format(time.RFC3339),
 		GoVersion:         runtime.Version(),
+		CPUs:              runtime.NumCPU(),
 		Workload:          *workload,
 		InstructionsPerPE: *instr,
 		ProbeEvery:        *probeEvery,
+		Parallel:          *parallel,
 	}
 	for _, scheme := range sim.AllSchemes() {
 		cfg := sim.DefaultConfig(scheme)
@@ -94,40 +105,23 @@ func main() {
 			cfg.EIRGroups = prob.Groups(res.Assignment)
 		}
 
-		var cycles int64
-		br := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			var total int64
-			for i := 0; i < b.N; i++ {
-				sys, err := sim.NewSystem(cfg, prof)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if *probeEvery > 0 {
-					sys.AttachProbes(*probeEvery)
-				}
-				res, err := sys.RunToCompletion()
-				if err != nil {
-					b.Fatal(err)
-				}
-				cycles = res.ExecCycles
-				total += res.ExecCycles
-			}
-			if s := b.Elapsed().Seconds(); s > 0 {
-				b.ReportMetric(float64(total)/s, "cycles/sec")
-			}
-		})
-		sr := schemeResult{
-			Scheme:       scheme.String(),
-			NsPerOp:      br.NsPerOp(),
-			BytesPerOp:   br.AllocedBytesPerOp(),
-			AllocsPerOp:  br.AllocsPerOp(),
-			SimCycles:    cycles,
-			CyclesPerSec: br.Extra["cycles/sec"],
-		}
+		sr := measure(scheme.String(), cfg, prof, *probeEvery)
 		rep.Schemes = append(rep.Schemes, sr)
 		fmt.Printf("%-18s %12d ns/op %10.0f cycles/sec %8d allocs/op\n",
 			sr.Scheme, sr.NsPerOp, sr.CyclesPerSec, sr.AllocsPerOp)
+
+		if *parallel > 1 {
+			pcfg := cfg
+			pcfg.Parallel = *parallel
+			pr := measure(fmt.Sprintf("%s@par%d", scheme, *parallel), pcfg, prof, *probeEvery)
+			rep.Schemes = append(rep.Schemes, pr)
+			speedup := 0.0
+			if sr.CyclesPerSec > 0 {
+				speedup = pr.CyclesPerSec / sr.CyclesPerSec
+			}
+			fmt.Printf("%-18s %12d ns/op %10.0f cycles/sec %8d allocs/op  %.2fx vs serial\n",
+				pr.Scheme, pr.NsPerOp, pr.CyclesPerSec, pr.AllocsPerOp, speedup)
+		}
 	}
 
 	if *baseline != "" {
@@ -150,6 +144,41 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure benchmarks one configuration and returns its scheme record.
+func measure(name string, cfg sim.Config, prof workloads.Profile, probeEvery int64) schemeResult {
+	var cycles int64
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var total int64
+		for i := 0; i < b.N; i++ {
+			sys, err := sim.NewSystem(cfg, prof)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if probeEvery > 0 {
+				sys.AttachProbes(probeEvery)
+			}
+			res, err := sys.RunToCompletion()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = res.ExecCycles
+			total += res.ExecCycles
+		}
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(total)/s, "cycles/sec")
+		}
+	})
+	return schemeResult{
+		Scheme:       name,
+		NsPerOp:      br.NsPerOp(),
+		BytesPerOp:   br.AllocedBytesPerOp(),
+		AllocsPerOp:  br.AllocsPerOp(),
+		SimCycles:    cycles,
+		CyclesPerSec: br.Extra["cycles/sec"],
+	}
 }
 
 // runCompare implements `-compare old.json new.json [-threshold 0.95]`. The

@@ -39,6 +39,7 @@ func main() {
 		name        = flag.String("name", "", "stable worker name (default host-pid)")
 		parallel    = flag.Int("parallelism", 1, "units executed concurrently")
 		unitPar     = flag.Int("unit-parallelism", 0, "per-unit simulation parallelism (0 = GOMAXPROCS/parallelism)")
+		simPar      = flag.Int("parallel", 0, "per-simulation shard parallelism for units that don't set \"parallel\" themselves (0 = serial stepper; results are bit-identical either way)")
 		poll        = flag.Duration("poll", 500*time.Millisecond, "lease poll interval while idle")
 		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "lease renewal interval (keep well under the coordinator's lease TTL)")
 
@@ -77,7 +78,7 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		Logger:            logger,
 		Run: func(ctx context.Context, u fleet.Unit) ([]byte, error) {
-			return service.RunSpec(ctx, u.Spec, runPar)
+			return service.RunSpecParallel(ctx, u.Spec, runPar, *simPar)
 		},
 	})
 	if err != nil {

@@ -52,6 +52,11 @@ type RunConfig struct {
 	// InstructionsPerPE scales simulation length (zero = default).
 	InstructionsPerPE int
 	Seed              int64
+
+	// Parallel enables the deterministic parallel stepper when > 1 (see
+	// sim.Config.Parallel): networks step concurrently and core-domain
+	// meshes shard row-wise, with results bit-identical to a serial run.
+	Parallel int
 }
 
 // RunBenchmark simulates one scheme on one benchmark and returns the full
@@ -114,6 +119,7 @@ func (rc RunConfig) simSetup() (sim.Config, workloads.Profile, error) {
 	if rc.Seed != 0 {
 		cfg.Seed = rc.Seed
 	}
+	cfg.Parallel = rc.Parallel
 	if rc.Scheme == sim.EquiNox {
 		cfg.CBOverride = rc.Design.CBs
 		cfg.EIRGroups = rc.Design.Groups

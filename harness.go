@@ -25,7 +25,15 @@ type EvalConfig struct {
 
 	InstructionsPerPE int // zero = default scale
 	Seed              int64
-	Parallelism       int // zero = GOMAXPROCS
+	Parallelism       int // concurrent (scheme, benchmark) runs; zero = GOMAXPROCS
+
+	// Parallel enables the deterministic parallel stepper inside each
+	// simulation (sim.Config.Parallel): networks step concurrently and
+	// core-domain meshes shard row-wise, bit-identical to a serial run.
+	// Orthogonal to Parallelism, which runs whole simulations concurrently —
+	// use Parallel when the sweep is narrow (few runs, e.g. a single
+	// scheme × benchmark) and per-run latency matters.
+	Parallel int
 
 	// Design is the EquiNox design to evaluate; nil builds one with the
 	// fast greedy search.
@@ -188,6 +196,7 @@ dispatch:
 				Design:            design,
 				InstructionsPerPE: cfg.InstructionsPerPE,
 				Seed:              cfg.Seed,
+				Parallel:          cfg.Parallel,
 			}
 			var (
 				res     sim.Result

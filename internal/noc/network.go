@@ -6,6 +6,7 @@ import (
 
 	"equinox/internal/flight"
 	"equinox/internal/geom"
+	"equinox/internal/par"
 )
 
 // Network is one physical mesh network instance with its routers, links,
@@ -45,6 +46,19 @@ type Network struct {
 	// flitPool recycles Flit structs from ejected packets back to the NIs so
 	// steady-state injection allocates nothing.
 	flitPool []*Flit
+
+	// credits stages phase-4 upstream credit returns for an end-of-phase
+	// apply. Deferral makes credit visibility independent of the order
+	// routers are scanned in, which is what lets the sharded stepper
+	// reproduce the serial results bit-for-bit (see shard.go).
+	credits []stagedCredit
+
+	// Sharded-stepper state; empty/nil when Cfg.Shards <= 1.
+	shards   []*shardState
+	shardOf  []int32 // router ID → shard index
+	group    *par.Group
+	phaseFn  func(int) // bound runShardPhase, built once to avoid per-cycle closures
+	curPhase int
 
 	// classVCList is the precomputed per-class downstream-VC preference
 	// order (see initClassVCs).
@@ -195,6 +209,9 @@ func New(cfg Config) (*Network, error) {
 		r.dirBuf = make([]geom.Direction, 0, 2)
 	}
 	n.niQueued = make([]bool, len(n.nis))
+	if cfg.Shards > 1 {
+		n.initShards()
+	}
 	return n, nil
 }
 
@@ -227,6 +244,15 @@ func mergeSorted(active, newly, buf []int32) (merged, spare []int32) {
 }
 
 func (n *Network) mergeActive() {
+	// Sharded networks collect activations per shard (markActive must not
+	// append to a shared list from concurrent phase workers); gather them
+	// here. mergeSorted sorts, so concatenation order is irrelevant.
+	for _, sh := range n.shards {
+		if len(sh.newly) > 0 {
+			n.newly = append(n.newly, sh.newly...)
+			sh.newly = sh.newly[:0]
+		}
+	}
 	if len(n.newly) == 0 {
 		return
 	}
@@ -311,34 +337,55 @@ func (n *Network) ejectReady(node int, c Class) bool {
 }
 
 // ejectFlit consumes a flit at the ejection port; on the tail flit the
-// packet is delivered.
-func (n *Network) ejectFlit(node int, f *Flit, now int64) {
+// packet is delivered. When called from a shard worker (sh non-nil), every
+// effect that leaves the ejecting router — flight events, OnDeliver, flit
+// recycling, stats — is staged for the phase barrier; the ejection queue
+// itself is per node and thus shard-local.
+func (n *Network) ejectFlit(node int, f *Flit, now int64, sh *shardState) {
 	if f.IsTail {
 		f.Pkt.DeliveredAt = now
 		c := ClassOf(f.Pkt.Type)
 		n.ejectQ[c][node] = append(n.ejectQ[c][node], f.Pkt)
-		n.delivered++
-		n.Stats.packetDelivered(f.Pkt, n.Cfg)
+		if sh != nil {
+			sh.delivered++
+			sh.stats.packetDelivered(f.Pkt, n.Cfg)
+		} else {
+			n.delivered++
+			n.Stats.packetDelivered(f.Pkt, n.Cfg)
+		}
 		if fr := n.flight; fr != nil {
 			lat := now - f.Pkt.CreatedAt
 			sampled := fr.Hit(f.Pkt.ID)
-			if sampled {
-				fr.Record(flight.Event{
-					Cycle: now, Pkt: f.Pkt.ID, Kind: flight.Ejected,
-					Type: uint8(f.Pkt.Type), Src: int32(f.Pkt.Src), Dst: int32(f.Pkt.Dst),
-					Router: int32(node), A: int32(lat),
-				})
+			ev := flight.Event{
+				Cycle: now, Pkt: f.Pkt.ID, Kind: flight.Ejected,
+				Type: uint8(f.Pkt.Type), Src: int32(f.Pkt.Src), Dst: int32(f.Pkt.Dst),
+				Router: int32(node), A: int32(lat),
 			}
-			// Every ejection (sampled or not) feeds the watchdogs: the
-			// starvation detector must observe unsampled progress too.
-			fr.EjectObserved(now, f.Pkt.ID, lat, sampled)
+			if sh != nil {
+				sh.fops = append(sh.fops, stagedFlightOp{ev: ev, lat: lat, eject: true, sampled: sampled})
+			} else {
+				if sampled {
+					fr.Record(ev)
+				}
+				// Every ejection (sampled or not) feeds the watchdogs: the
+				// starvation detector must observe unsampled progress too.
+				fr.EjectObserved(now, f.Pkt.ID, lat, sampled)
+			}
 		}
 		if n.OnDeliver != nil {
-			n.OnDeliver(f.Pkt)
+			if sh != nil {
+				sh.delivers = append(sh.delivers, f.Pkt)
+			} else {
+				n.OnDeliver(f.Pkt)
+			}
 		}
 	}
 	// The flit is dead: recycle it to the NI-side pool.
-	n.flitPool = append(n.flitPool, f)
+	if sh != nil {
+		sh.frees = append(sh.frees, f)
+	} else {
+		n.flitPool = append(n.flitPool, f)
+	}
 }
 
 // makeFlits serializes a packet into buf (reused across packets), drawing
@@ -370,15 +417,21 @@ func (n *Network) makeFlits(p *Packet, buf []*Flit) []*Flit {
 // active worklists are visited; everything else is provably a no-op this
 // cycle, so low-load sweeps stop paying for the full mesh. Worklists are
 // iterated in ascending index order, which reproduces the arbitration
-// ordering of a full scan exactly (bit-identical results).
+// ordering of a full scan exactly (bit-identical results). With
+// Cfg.Shards > 1 the phases run band-parallel (see shard.go) with the same
+// guarantee.
 func (n *Network) Step() {
+	if n.shards != nil {
+		n.stepSharded()
+		return
+	}
 	now := n.now
 	n.mergeActive()
 	// 1. Deliver link arrivals due this cycle.
 	for _, id := range n.active {
 		r := n.Routers[id]
 		if r.linkFlits > 0 {
-			r.deliverArrivals(now)
+			r.deliverArrivals(now, nil)
 		}
 	}
 	// 2. NI injection streams flits into router input buffers.
@@ -393,7 +446,7 @@ func (n *Network) Step() {
 	for _, id := range n.active {
 		r := n.Routers[id]
 		if r.inFlits > 0 {
-			r.vcAllocate(now)
+			r.vcAllocate(now, nil)
 		}
 	}
 	// 4. Switch allocation + traversal.
@@ -401,9 +454,13 @@ func (n *Network) Step() {
 	for _, id := range n.active {
 		r := n.Routers[id]
 		if r.inFlits > 0 {
-			moved += r.switchAllocate(now)
+			moved += r.switchAllocate(now, nil)
 		}
 	}
+	// Deferred credit returns become visible between cycles, never within
+	// phase 4 — the serial stepper matches the sharded one exactly.
+	applyCredits(n.credits)
+	n.credits = n.credits[:0]
 	if moved > 0 {
 		n.lastProgress = now
 	}

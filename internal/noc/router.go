@@ -125,11 +125,21 @@ type Router struct {
 }
 
 // markActive puts the router on its network's active worklist; cheap and
-// idempotent, called whenever a flit lands in one of its input buffers.
+// idempotent, called whenever a flit lands in one of its input buffers. On
+// sharded networks activations collect per shard: flits only land in a
+// router from its own shard's phase worker (cross-shard deliveries are
+// staged and applied serially), so appending to the owning shard's list is
+// race-free.
 func (r *Router) markActive() {
 	if !r.queued {
 		r.queued = true
-		r.net.newly = append(r.net.newly, int32(r.id))
+		n := r.net
+		if n.shardOf != nil {
+			sh := n.shards[n.shardOf[r.id]]
+			sh.newly = append(sh.newly, int32(r.id))
+			return
+		}
+		n.newly = append(n.newly, int32(r.id))
 	}
 }
 
@@ -303,7 +313,7 @@ var westOnly = []geom.Direction{geom.West}
 // once per cycle on every router, which made even a fully idle router's
 // vcAllocate call stateful. Deriving it keeps idle routers skippable by the
 // active-set scheduler while producing bit-identical arbitration.
-func (r *Router) vcAllocate(now int64) {
+func (r *Router) vcAllocate(now int64, sh *shardState) {
 	nin := len(r.in)
 	rrInPort := int(now % int64(nin))
 	for k := 0; k < nin; k++ {
@@ -349,7 +359,7 @@ func (r *Router) vcAllocate(now int64) {
 				break
 			}
 			if r.net.flight != nil && vb.outPort != noAlloc {
-				r.net.flightRecord(now, head.Pkt, flight.VCAlloc, r.id, int32(vb.outPort), int32(vb.outVC))
+				r.net.flightRecordSh(sh, now, head.Pkt, flight.VCAlloc, r.id, int32(vb.outPort), int32(vb.outVC))
 			}
 		}
 	}
@@ -371,7 +381,10 @@ type saReq struct {
 // switchAllocate runs separable input-first switch allocation and traverses
 // the granted flits. Returns the number of flits moved. All working state
 // lives in per-router scratch buffers; the steady state allocates nothing.
-func (r *Router) switchAllocate(now int64) int {
+// With sh non-nil the call runs on a shard worker: upstream credit returns,
+// flight events, stats, and ejection side effects stage into the shard for
+// the phase barrier (everything else the phase touches is router-local).
+func (r *Router) switchAllocate(now int64, sh *shardState) int {
 	n := r.net
 	// Input stage: each input port nominates one VC.
 	reqs := r.saReqs[:0]
@@ -444,25 +457,36 @@ func (r *Router) switchAllocate(now int64) int {
 		op := r.out[pi]
 		f := q.vb.pop()
 		if n.flight != nil && f.IsHead {
-			n.flightRecord(now, f.Pkt, flight.SAGrant, r.id, int32(pi), int32(q.vb.outVC))
+			n.flightRecordSh(sh, now, f.Pkt, flight.SAGrant, r.id, int32(pi), int32(q.vb.outVC))
 		}
 		r.inFlits--
 		moved++
 		r.occupancyCycles += now - f.enteredRouter
 		r.flitsThrough++
-		// Return a credit upstream.
+		// Return a credit upstream — deferred to the end of phase 4 (both
+		// paths), so no router can observe a credit freed earlier in the same
+		// phase. NI credit sinks are no-ops and stay inline.
+		st := &n.Stats
+		if sh != nil {
+			st = &sh.stats
+		}
 		if q.ip.upRouter != nil {
-			q.ip.upRouter.out[q.ip.upPort].credits[q.vcIx]++
+			up := q.ip.upRouter.out[q.ip.upPort]
+			if sh != nil {
+				sh.credits = append(sh.credits, stagedCredit{op: up, vc: int32(q.vcIx)})
+			} else {
+				n.credits = append(n.credits, stagedCredit{op: up, vc: int32(q.vcIx)})
+			}
 		} else if q.ip.upNI != nil {
 			q.ip.upNI.credit(q.vcIx)
 		}
-		n.Stats.FlitHops++
+		st.FlitHops++
 		tail := f.IsTail
 		if op.eject {
-			n.Stats.EjectFlits++
-			n.ejectFlit(r.node, f, now) // recycles f; do not touch it after
+			st.EjectFlits++
+			n.ejectFlit(r.node, f, now, sh) // recycles f; do not touch it after
 		} else {
-			n.Stats.LinkFlits++
+			st.LinkFlits++
 			op.credits[q.vb.outVC]--
 			op.link.inFlight = append(op.link.inFlight, flitInFlight{
 				f:   f,
@@ -482,7 +506,10 @@ func (r *Router) switchAllocate(now int64) int {
 }
 
 // deliverArrivals moves due in-flight flits into downstream input buffers.
-func (r *Router) deliverArrivals(now int64) {
+// On a shard worker (sh non-nil), deliveries whose target router lies
+// outside the shard are staged and applied at the barrier; each input VC has
+// a single upstream link, so per-buffer FIFO order survives the detour.
+func (r *Router) deliverArrivals(now int64, sh *shardState) {
 	for _, op := range r.out {
 		if op.link == nil || len(op.link.inFlight) == 0 {
 			continue
@@ -493,9 +520,15 @@ func (r *Router) deliverArrivals(now int64) {
 			if ff.due <= now {
 				ff.f.enteredRouter = now
 				if r.net.flight != nil && ff.f.IsHead {
-					r.net.flightRecord(now, ff.f.Pkt, flight.LinkTraverse, lnk.to.id, int32(lnk.toPort), int32(ff.vc))
+					r.net.flightRecordSh(sh, now, ff.f.Pkt, flight.LinkTraverse, lnk.to.id, int32(lnk.toPort), int32(ff.vc))
 				}
-				lnk.to.accept(lnk.to.in[lnk.toPort].vcs[ff.vc], ff.f)
+				if sh != nil && (int32(lnk.to.id) < sh.lo || int32(lnk.to.id) >= sh.hi) {
+					sh.arrivals = append(sh.arrivals, stagedArrival{
+						to: lnk.to, port: int32(lnk.toPort), vc: int32(ff.vc), f: ff.f,
+					})
+				} else {
+					lnk.to.accept(lnk.to.in[lnk.toPort].vcs[ff.vc], ff.f)
+				}
 				r.linkFlits--
 			} else {
 				lnk.inFlight[w] = ff

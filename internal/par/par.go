@@ -1,0 +1,160 @@
+// Package par provides a process-wide helper pool and a reusable
+// parallel-for primitive for the simulator's deterministic parallel
+// stepper. The design constraints come from the hot loop it serves:
+//
+//   - Zero steady-state allocations: a Group is built once and reused every
+//     cycle; Run performs no heap allocation.
+//   - Caller participation: the goroutine calling Run always executes tasks
+//     itself, so nested Runs (a sim-level network task containing noc-level
+//     shard Runs) cannot deadlock even if every pool helper is busy.
+//   - No lifecycle: helpers belong to the process, started lazily on the
+//     first parallel Run, so Networks and Systems need no Close.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	poolOnce sync.Once
+	helpers  int
+	// queue carries wake-up tickets to idle helpers. Sends are non-blocking:
+	// a busy pool just means the caller does more of the work itself.
+	queue chan wake
+)
+
+type wake struct {
+	g   *Group
+	seq uint32
+}
+
+func ensurePool() {
+	poolOnce.Do(func() {
+		helpers = runtime.GOMAXPROCS(0) - 1
+		if helpers < 0 {
+			helpers = 0
+		}
+		if helpers > 0 {
+			queue = make(chan wake, 4*helpers)
+			for i := 0; i < helpers; i++ {
+				go helperLoop()
+			}
+		}
+	})
+}
+
+func helperLoop() {
+	for w := range queue {
+		g := w.g
+		// Register before validating: Run's next-generation setup first bumps
+		// seq and then waits for inside to drain, so a helper that passes the
+		// seq check is guaranteed to run against a fully configured Group.
+		g.inside.Add(1)
+		if w.seq == g.seq.Load() {
+			g.work()
+		}
+		g.inside.Add(-1)
+	}
+}
+
+// Group is a reusable parallel-for. One Group supports one Run at a time;
+// sequential Runs on the same Group are allocation-free. The zero value is
+// not usable — construct with NewGroup.
+type Group struct {
+	fn          func(int)
+	n           int32
+	seq         atomic.Uint32 // run generation, invalidates stale wake-ups
+	next        atomic.Int32  // next task index to hand out
+	outstanding atomic.Int32  // tasks not yet completed
+	inside      atomic.Int32  // helpers currently executing work()
+	done        chan struct{} // buffered(1); signalled when outstanding hits 0
+
+	// waitNS accumulates the time Run spent blocked at the completion
+	// barrier after finishing its own share — the "barrier wait" that shard
+	// imbalance shows up as. Read and reset with TakeWaitNS.
+	waitNS int64
+}
+
+// NewGroup builds a reusable Group.
+func NewGroup() *Group {
+	return &Group{done: make(chan struct{}, 1)}
+}
+
+// Run executes fn(0) … fn(n-1), partitioned dynamically over the caller and
+// any idle pool helpers, and returns when all n calls completed. fn must be
+// safe for concurrent invocation with distinct arguments.
+func (g *Group) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	ensurePool()
+	if n == 1 || helpers == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Invalidate wake-ups from the previous run, then wait for any helper
+	// still inside work() to leave. Past-run helpers exit promptly: every
+	// prior task completed, so next ≥ n and their next claim fails.
+	seq := g.seq.Add(1)
+	for g.inside.Load() != 0 {
+		runtime.Gosched()
+	}
+	g.fn = fn
+	g.n = int32(n)
+	g.outstanding.Store(int32(n))
+	g.next.Store(0)
+	select { // drop a stale completion token if the last signaller wasn't the receiver
+	case <-g.done:
+	default:
+	}
+	w := wake{g: g, seq: seq}
+	for i := 1; i < n; i++ {
+		select {
+		case queue <- w:
+		default:
+			i = n // pool saturated; stop advertising
+		}
+	}
+	g.work()
+	if g.outstanding.Load() != 0 {
+		t0 := time.Now()
+		<-g.done
+		g.waitNS += time.Since(t0).Nanoseconds()
+	}
+	g.fn = nil
+}
+
+// work claims and executes tasks until none remain.
+func (g *Group) work() {
+	for {
+		i := g.next.Add(1) - 1
+		if i >= g.n {
+			return
+		}
+		g.fn(int(i))
+		if g.outstanding.Add(-1) == 0 {
+			g.done <- struct{}{}
+		}
+	}
+}
+
+// TakeWaitNS returns the nanoseconds Run spent blocked at the completion
+// barrier since the last call, and resets the counter. Only meaningful
+// between Runs (single-threaded access).
+func (g *Group) TakeWaitNS() int64 {
+	ns := g.waitNS
+	g.waitNS = 0
+	return ns
+}
+
+// Helpers reports the pool size (GOMAXPROCS-1 at first use); 0 means every
+// Run degrades to an inline serial loop.
+func Helpers() int {
+	ensurePool()
+	return helpers
+}

@@ -1,0 +1,85 @@
+package par
+
+import (
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMain raises GOMAXPROCS so the pool gets real helpers even on a
+// single-core machine: the helpers count is captured from GOMAXPROCS at the
+// first parallel Run, and exercising genuine cross-goroutine scheduling is
+// the whole point of running this package under -race.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
+
+// TestRunExecutesEachIndexOnce covers the seq-guard and reuse path: the same
+// Group run back to back with varying n must execute every index exactly once
+// per run, with stale wake-ups from earlier runs never double-executing.
+func TestRunExecutesEachIndexOnce(t *testing.T) {
+	g := NewGroup()
+	sizes := []int{0, 1, 2, 3, 5, 8, 16, 64, 257, 1, 64, 2}
+	for round := 0; round < 50; round++ {
+		for _, n := range sizes {
+			counts := make([]atomic.Int32, n+1)
+			g.Run(n, func(i int) { counts[i].Add(1) })
+			for i := 0; i < n; i++ {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("round %d n=%d: index %d ran %d times", round, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestNestedRuns pins the no-deadlock property: a task body may itself Run a
+// different Group (the sim steps networks in parallel, and each network Run
+// steps its shards), and everything still completes because callers always
+// participate in their own work.
+func TestNestedRuns(t *testing.T) {
+	outer := NewGroup()
+	var total atomic.Int32
+	inner := make([]*Group, 4)
+	for i := range inner {
+		inner[i] = NewGroup()
+	}
+	outer.Run(len(inner), func(i int) {
+		inner[i].Run(8, func(int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 32 {
+		t.Fatalf("nested runs executed %d tasks, want 32", got)
+	}
+}
+
+// TestTakeWaitNS checks the barrier-wait counter read-and-reset contract.
+func TestTakeWaitNS(t *testing.T) {
+	g := NewGroup()
+	g.Run(16, func(int) {})
+	if ns := g.TakeWaitNS(); ns < 0 {
+		t.Fatalf("negative wait %d", ns)
+	}
+	if ns := g.TakeWaitNS(); ns != 0 {
+		t.Fatalf("TakeWaitNS did not reset: %d", ns)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Helpers() < 0 {
+		t.Fatal("negative helper count")
+	}
+}
+
+// BenchmarkRun measures the per-cycle overhead of a reused Group at the shard
+// counts the simulator uses.
+func BenchmarkRun(b *testing.B) {
+	g := NewGroup()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Run(4, func(int) {})
+	}
+}

@@ -484,6 +484,47 @@ func TestPriorityExcludedFromKey(t *testing.T) {
 	}
 }
 
+// TestParallelExcludedFromKey: the parallel stepper is bit-identical to the
+// serial one, so the same sweep at any shard parallelism is one job (one
+// content key) — but the setting survives canonicalization so workers can
+// honor it, and a negative value is rejected.
+func TestParallelExcludedFromKey(t *testing.T) {
+	a := smallSpec()
+	a.Parallel = 4
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := smallSpec().Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("parallel changed the content key: %s vs %s", ka, kb)
+	}
+	canon, err := a.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Parallel != 4 {
+		t.Errorf("canonicalization dropped Parallel: %d", canon.Parallel)
+	}
+	units, err := unitsFor("job", canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range units {
+		if !strings.Contains(string(u.Spec), `"parallel":4`) {
+			t.Errorf("unit spec lost the parallel setting: %s", u.Spec)
+		}
+	}
+	bad := smallSpec()
+	bad.Parallel = -1
+	if _, err := bad.Canonicalize(); err == nil {
+		t.Fatal("negative parallel accepted")
+	}
+}
+
 // TestCacheBytesExported: the byte-size gauge reflects stored results.
 func TestCacheBytesExported(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})

@@ -29,6 +29,11 @@ type Config struct {
 	// (default GOMAXPROCS/Workers, minimum 1), so a fully busy pool uses
 	// about one goroutine per core.
 	JobParallelism int
+	// SimParallel is the default per-simulation shard parallelism
+	// (sim.Config.Parallel) applied to jobs whose spec does not set
+	// "parallel". 0 leaves unspecified jobs on the serial stepper, the
+	// right default when JobParallelism already saturates the cores.
+	SimParallel int
 	// CacheEntries bounds the in-memory result cache by entry count
 	// (default 128).
 	CacheEntries int
@@ -123,6 +128,7 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.store.Len()) },
 		func() float64 { return float64(s.store.SizeBytes()) },
 	)
+	s.met.observeBarrierWaits()
 
 	fcfg := cfg.Fleet
 	fcfg.Store = s.store
@@ -208,6 +214,10 @@ func (s *Server) run(j *job) {
 		return
 	}
 	cfg.Parallelism = s.cfg.JobParallelism
+	if cfg.Parallel == 0 {
+		cfg.Parallel = s.cfg.SimParallel
+	}
+	s.met.simShards.Set(float64(cfg.Parallel))
 	total := j.totalRuns
 	cfg.Progress = func(done, _ int) {
 		j.doneRuns.Store(int64(done))
@@ -605,11 +615,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.reg.WritePrometheus(w)
 }
 
-// keyOf hashes an already-canonical spec (see JobSpec.Key). Priority is
-// zeroed first: it is scheduling advice, and the same sweep at any
-// priority shares one result.
+// keyOf hashes an already-canonical spec (see JobSpec.Key). Priority and
+// Parallel are zeroed first: they are scheduling/execution advice, and the
+// same sweep at any priority or stepper parallelism shares one result (the
+// parallel stepper is bit-identical to the serial one by construction).
 func keyOf(canon JobSpec) (string, error) {
 	canon.Priority = ""
+	canon.Parallel = 0
 	raw, err := json.Marshal(canon)
 	if err != nil {
 		return "", err

@@ -40,6 +40,14 @@ type JobSpec struct {
 	// content key than untraced ones — their artifacts differ.
 	Trace bool `json:"trace,omitempty"`
 
+	// Parallel enables the deterministic parallel stepper inside each
+	// simulation when > 1 (equinox.EvalConfig.Parallel): networks step
+	// concurrently and core-domain meshes shard row-wise, with results
+	// bit-identical to a serial run. Like Priority it is execution advice,
+	// not job identity — it is excluded from the content key, so a sweep
+	// run parallel and the same sweep run serial share one cached result.
+	Parallel int `json:"parallel,omitempty"`
+
 	// Priority selects the scheduling class: "interactive" for jobs a
 	// human is waiting on, "batch" (the default) for bulk sweeps.
 	// Interactive work is dequeued at a 3:1 weighted share, so a huge
@@ -114,6 +122,9 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 	default:
 		return JobSpec{}, fmt.Errorf("service: priority must be \"interactive\" or \"batch\", not %q", c.Priority)
 	}
+	if c.Parallel < 0 {
+		return JobSpec{}, fmt.Errorf("service: negative parallel %d", c.Parallel)
+	}
 
 	cfg, err := c.evalConfig()
 	if err != nil {
@@ -158,6 +169,7 @@ func (s JobSpec) evalConfig() (equinox.EvalConfig, error) {
 		Benchmarks:        s.Benchmarks,
 		InstructionsPerPE: s.InstructionsPerPE,
 		Seed:              s.Seed,
+		Parallel:          s.Parallel,
 	}
 	for _, name := range s.Schemes {
 		k, err := equinox.ParseScheme(name)

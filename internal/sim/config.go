@@ -92,6 +92,14 @@ type Config struct {
 	// VCsPerPort overrides Table 1's two virtual channels per port on every
 	// network when non-zero (ablation knob).
 	VCsPerPort int
+
+	// Parallel enables the deterministic parallel stepper when > 1: the
+	// scheme's networks step concurrently within each core cycle (they share
+	// no mutable state inside a cycle), and each core-domain mesh is split
+	// into min(Parallel, Height) row-band shards stepped phase-parallel
+	// (noc.Config.Shards). Results are bit-identical to the serial path for
+	// the same seeds. 0 or 1 keeps today's single-goroutine stepping.
+	Parallel int
 }
 
 // DefaultConfig returns the Table 1 system for a scheme at 8×8 with 8 CBs.
@@ -136,6 +144,9 @@ func (c Config) Validate() error {
 	}
 	if c.Scheme == DA2Mesh && (c.DA2MeshSubnets < 1 || c.DA2MeshClockRatio <= 0) {
 		return fmt.Errorf("sim: bad DA2Mesh parameters")
+	}
+	if c.Parallel < 0 {
+		return fmt.Errorf("sim: negative Parallel %d", c.Parallel)
 	}
 	return nil
 }
@@ -185,6 +196,11 @@ func (c Config) buildNetworks(cbs []geom.Point) (*networkSet, error) {
 		if c.VCsPerPort > 0 {
 			nc.VCsPerPort = c.VCsPerPort
 		}
+		// Core-domain meshes shard row-wise under the parallel stepper.
+		// DA2Mesh's narrow subnets stay serial inside (Shards left 1): the
+		// eight subnets already step concurrently as whole networks, and
+		// splitting each lightly-loaded subnet would be all barrier, no work.
+		nc.Shards = c.Parallel
 		return nc
 	}
 	switch c.Scheme {
@@ -204,6 +220,7 @@ func (c Config) buildNetworks(cbs []geom.Point) (*networkSet, error) {
 			cw, ch := (c.Width+1)/2, (c.Height+1)/2
 			cc := noc.DefaultConfig("cmesh", cw, ch)
 			cc.ClockGHz = c.CoreClockGHz
+			cc.Shards = c.Parallel
 			cc.FlitBytes = 32 // 256-bit interposer links
 			cc.Routing = noc.RoutingXY
 			cc.VCPolicy = noc.VCByClass
@@ -240,6 +257,7 @@ func (c Config) buildNetworks(cbs []geom.Point) (*networkSet, error) {
 		case DA2Mesh:
 			for i := 0; i < c.DA2MeshSubnets; i++ {
 				sn := mk(fmt.Sprintf("reply%d", i))
+				sn.Shards = 0                        // see mk: subnets parallelize as whole networks
 				sn.FlitBytes = 16 / c.DA2MeshSubnets // 1/8 flit size
 				if sn.FlitBytes < 1 {
 					sn.FlitBytes = 1

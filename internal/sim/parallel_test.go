@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"equinox/internal/flight"
+	"equinox/internal/workloads"
+)
+
+// TestMain raises GOMAXPROCS so the par pool gets real helpers even on a
+// single-core machine: with GOMAXPROCS=1 the parallel stepper degrades to an
+// inline loop and the serial-vs-parallel cross-checks would not exercise
+// concurrent execution at all.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
+
+// TestParallelMatchesSerial is the determinism cross-check of the parallel
+// stepper: every scheme × {uniform, hotspot} × three seeds, run serially and
+// with Parallel∈{2,4}, must produce byte-identical Result structs. The
+// parallel path stages all cross-shard effects and merges them in ascending
+// router-index order, so any divergence here is a bug, not a tolerance issue.
+func TestParallelMatchesSerial(t *testing.T) {
+	benches := []string{"uniform", "hotspot"}
+	seeds := []int64{1, 2, 3}
+	for _, s := range AllSchemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(s, t)
+			for _, bench := range benches {
+				prof, err := workloads.ByName(bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, seed := range seeds {
+					serial := cfg
+					serial.Seed = seed
+					want, err := Run(serial, prof)
+					if err != nil {
+						t.Fatalf("%s seed %d serial: %v", bench, seed, err)
+					}
+					for _, par := range []int{2, 4} {
+						pc := serial
+						pc.Parallel = par
+						got, err := Run(pc, prof)
+						if err != nil {
+							t.Fatalf("%s seed %d parallel=%d: %v", bench, seed, par, err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("%s seed %d parallel=%d diverged:\n got %+v\nwant %+v",
+								bench, seed, par, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFlightMatchesSerial checks the flight recorder under sharding:
+// a traced parallel run must reproduce the serial run's event stream
+// event-for-event on every network (per-shard staged events are flushed at
+// each phase barrier in ascending shard order — the serial recording order).
+func TestParallelFlightMatchesSerial(t *testing.T) {
+	opts := flight.Options{SampleMod: 1, BufferCap: 1 << 20, StallLimit: -1}
+	for _, s := range []SchemeKind{SeparateBase, DA2Mesh, EquiNox} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(par int) *flight.Capture {
+				cfg := smallConfig(s, t)
+				cfg.Parallel = par
+				sys, err := NewSystem(cfg, mustProfile(t, "hotspot"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				cap := sys.AttachFlight(opts)
+				if _, err := sys.RunToCompletion(); err != nil {
+					t.Fatal(err)
+				}
+				return cap
+			}
+			want := run(0)
+			got := run(4)
+			if len(got.Recorders) != len(want.Recorders) {
+				t.Fatalf("recorder count %d vs %d", len(got.Recorders), len(want.Recorders))
+			}
+			for i, wr := range want.Recorders {
+				gr := got.Recorders[i]
+				if gr.Total() != wr.Total() {
+					t.Errorf("network %q: %d traced events parallel vs %d serial",
+						wr.Name, gr.Total(), wr.Total())
+					continue
+				}
+				ge, we := gr.Events(), wr.Events()
+				for k := range we {
+					if ge[k] != we[k] {
+						t.Errorf("network %q event %d diverged:\n got %+v\nwant %+v",
+							wr.Name, k, ge[k], we[k])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+func mustProfile(t testing.TB, name string) workloads.Profile {
+	t.Helper()
+	p, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -141,8 +141,33 @@ func Suite() []Profile {
 	return ps
 }
 
-// ByName returns the named profile from the suite.
+// Uniform returns the synthetic uniform-random traffic profile: every access
+// jumps to a random line in a large shared footprint, with no sequential runs
+// and no bursts. It is not part of the paper's 29-benchmark suite — it is the
+// classic NoC stress pattern used by determinism cross-checks and benchmarks
+// that want traffic spread evenly over the mesh rather than shaped by a
+// kernel's locality.
+func Uniform() Profile {
+	return Profile{
+		Name:           "uniform",
+		MemRatio:       0.45,
+		ReadFrac:       0.85,
+		FootprintLines: 32000,
+		SharedFrac:     0.90,
+		SeqProb:        0,
+		StrideLines:    1,
+		ComputeGap:     3,
+		Instructions:   1500,
+		DependentFrac:  0.25,
+	}
+}
+
+// ByName returns the named profile from the suite, or the synthetic
+// "uniform" pattern (see Uniform).
 func ByName(name string) (Profile, error) {
+	if name == "uniform" {
+		return Uniform(), nil
+	}
 	for _, p := range Suite() {
 		if p.Name == name {
 			return p, nil

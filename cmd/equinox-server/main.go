@@ -12,6 +12,7 @@
 //	curl -s localhost:8080/v1/jobs -d '{"benchmarks":["kmeans"],"schemes":["EquiNox","SeparateBase"]}'
 //	curl -s localhost:8080/v1/jobs/<id>
 //	curl -sN localhost:8080/v1/jobs/<id>/events
+//	curl -s localhost:8080/v1/jobs/<id>/spans > spans.json   # Perfetto trace
 //	curl -s -X DELETE localhost:8080/v1/jobs/<id>
 //	curl -s localhost:8080/v1/metrics
 //
@@ -64,6 +65,9 @@ func main() {
 		leaseTTL = flag.Duration("lease-ttl", 0, "fleet work-unit lease TTL (0 = default 15s)")
 		attempts = flag.Int("unit-attempts", 0, "fleet per-unit attempt budget (0 = default 3)")
 
+		traceTail   = flag.Duration("trace-tail", 0, "tail-sampling threshold: keep span traces only for jobs at least this slow (0 = keep all)")
+		traceSample = flag.Int("trace-sample", 0, "with -trace-tail, also keep 1-in-N span traces of fast jobs (0 = none)")
+
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 	)
@@ -94,6 +98,8 @@ func main() {
 		CacheBytes:     *cacheBy,
 		QueueDepth:     *queue,
 		Store:          persist,
+		TraceTail:      *traceTail,
+		TraceSample:    *traceSample,
 		Fleet: fleet.Config{
 			LeaseTTL:    *leaseTTL,
 			MaxAttempts: *attempts,

@@ -15,6 +15,12 @@
 // watchdog and tail-latency trigger ride along; a watchdog abort still
 // writes the requested event dumps before exiting nonzero.
 //
+// With -spans it instead downloads an equinox-server job's distributed span
+// trace (GET /v1/jobs/{id}/spans) — the stitched coordinator + fleet-worker
+// span tree, already in Perfetto trace-event form:
+//
+//	equinox-trace -spans <jobID> [-server http://localhost:8080] [-spans-out spans.json]
+//
 // Usage:
 //
 //	equinox-trace [-scheme EquiNox] [-bench kmeans] [-instr 600]
@@ -28,7 +34,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 
@@ -63,8 +71,19 @@ func main() {
 		tailBound  = flag.Int64("tail-latency", 0, "dump event history of packets delivered above N cycles (0 = off)")
 		flightCap  = flag.Int("flight-cap", 0, "flight ring capacity in events per network (0 = default 65536)")
 		stallLimit = flag.Int64("stall-limit", 0, "starvation watchdog window in cycles (0 = default 50000, <0 = off)")
+
+		spansJob = flag.String("spans", "", "download a server job's distributed span trace instead of simulating (job ID)")
+		server   = flag.String("server", "http://localhost:8080", "equinox-server base URL (with -spans)")
+		spansOut = flag.String("spans-out", "", "write the downloaded span trace to this file (default stdout)")
 	)
 	flag.Parse()
+
+	if *spansJob != "" {
+		if err := fetchSpans(*server, *spansJob, *spansOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var kind sim.SchemeKind = -1
 	for _, s := range sim.AllSchemes() {
@@ -233,6 +252,40 @@ func main() {
 		}
 		fmt.Println("wrote", *jsonOut)
 	}
+}
+
+// fetchSpans downloads a job's assembled span trace from the server and
+// writes it to out (stdout when empty). The server only serves spans for
+// finished jobs that survived tail sampling, so the error text forwards its
+// explanation verbatim.
+func fetchSpans(server, jobID, out string) error {
+	url := strings.TrimRight(server, "/") + "/v1/jobs/" + jobID + "/spans"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Printf("wrote %s (%d bytes)\n", out, n)
+	}
+	return nil
 }
 
 // meanLatency is the delivery-weighted mean over all probes.

@@ -12,6 +12,14 @@
 // killed worker loses nothing — its leased units are re-leased to the
 // rest of the fleet after the lease TTL. SIGINT/SIGTERM stop the worker;
 // in-flight units are abandoned and re-leased the same way.
+//
+// With -pprof-addr the worker serves /debug/pprof/ on a separate listener:
+//
+//	equinox-worker -coordinator http://localhost:8080 -pprof-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
+// Each worker also joins the coordinator's distributed traces: leases carry
+// a traceparent, and the worker's per-unit spans ship back with the result.
 package main
 
 import (
@@ -20,6 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on http.DefaultServeMux
 	"os"
 	"os/signal"
 	"runtime"
@@ -28,6 +39,7 @@ import (
 
 	"equinox/internal/fleet"
 	"equinox/internal/obs"
+	"equinox/internal/obs/trace"
 	"equinox/internal/service"
 )
 
@@ -42,6 +54,7 @@ func main() {
 		simPar      = flag.Int("parallel", 0, "per-simulation shard parallelism for units that don't set \"parallel\" themselves (0 = serial stepper; results are bit-identical either way)")
 		poll        = flag.Duration("poll", 500*time.Millisecond, "lease poll interval while idle")
 		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "lease renewal interval (keep well under the coordinator's lease TTL)")
+		pprofAddr   = flag.String("pprof-addr", "", "listen address for /debug/pprof (empty = disabled)")
 
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "structured log format: text or json")
@@ -70,6 +83,21 @@ func main() {
 		}
 	}
 
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; serve it on its own
+		// listener so profiling never rides the coordinator connection.
+		ln, lerr := net.Listen("tcp", *pprofAddr)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		go func() {
+			if serr := http.Serve(ln, http.DefaultServeMux); serr != nil {
+				log.Printf("pprof serve: %v", serr)
+			}
+		}()
+		log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	}
+
 	w, err := fleet.NewWorker(fleet.WorkerConfig{
 		Coordinator:       *coordinator,
 		Name:              *name,
@@ -77,6 +105,7 @@ func main() {
 		PollInterval:      *poll,
 		HeartbeatInterval: *heartbeat,
 		Logger:            logger,
+		Tracer:            trace.NewTracer(*name),
 		Run: func(ctx context.Context, u fleet.Unit) ([]byte, error) {
 			return service.RunSpecParallel(ctx, u.Spec, runPar, *simPar)
 		},

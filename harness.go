@@ -12,6 +12,7 @@ import (
 	"equinox/internal/core"
 	"equinox/internal/flight"
 	"equinox/internal/obs"
+	"equinox/internal/obs/trace"
 	"equinox/internal/sim"
 	"equinox/internal/stats"
 )
@@ -119,8 +120,10 @@ func RunEvaluationContext(ctx context.Context, cfg EvalConfig) (*Evaluation, err
 		}
 	}
 	if needEquiNox && design == nil {
+		dsp := trace.StartChild(ctx, "design")
 		var err error
-		design, err = DesignForMeshContext(ctx, cfg.Width, cfg.Height, cfg.NumCBs)
+		design, err = DesignForMeshContext(trace.WithSpan(ctx, dsp), cfg.Width, cfg.Height, cfg.NumCBs)
+		dsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -203,11 +206,19 @@ dispatch:
 				err     error
 				capture *flight.Capture
 			)
+			rsp := trace.StartChild(ctx, fmt.Sprintf("run %v/%s", j.scheme, j.bench))
+			rsp.SetAttr("scheme", fmt.Sprintf("%v", j.scheme))
+			rsp.SetAttr("benchmark", j.bench)
+			runCtx := trace.WithSpan(ctx, rsp)
 			if cfg.Flight != nil && j.scheme == traceScheme && j.bench == traceBench {
-				res, capture, err = RunBenchmarkFlightContext(ctx, rc, cfg.Flight.Options)
+				res, capture, err = RunBenchmarkFlightContext(runCtx, rc, cfg.Flight.Options)
 			} else {
-				res, err = RunBenchmarkContext(ctx, rc)
+				res, err = RunBenchmarkContext(runCtx, rc)
 			}
+			if err != nil {
+				rsp.SetAttr("error", err.Error())
+			}
+			rsp.End()
 			mu.Lock()
 			defer mu.Unlock()
 			done++

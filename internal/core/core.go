@@ -14,6 +14,7 @@ import (
 	"equinox/internal/interposer"
 	"equinox/internal/mcts"
 	"equinox/internal/obs"
+	"equinox/internal/obs/trace"
 	"equinox/internal/placement"
 )
 
@@ -114,7 +115,9 @@ func BuildDesignContext(ctx context.Context, cfg DesignConfig) (*Design, error) 
 		kind = placement.KnightMove
 	}
 	plSpan := obs.Span(ctx, "placement")
+	plTrace := trace.StartChild(ctx, "placement")
 	pl, err := placement.New(kind, cfg.Width, cfg.Height, cfg.NumCBs)
+	plTrace.End()
 	plSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: placement: %w", err)
@@ -139,6 +142,7 @@ func BuildDesignContext(ctx context.Context, cfg DesignConfig) (*Design, error) 
 		prob.Weights = mcts.DefaultWeights()
 	}
 	searchSpan := obs.Span(ctx, "mcts")
+	searchTrace := trace.StartChild(ctx, "mcts")
 	var res mcts.Result
 	switch cfg.Search {
 	case SearchGreedyTwoHop:
@@ -152,6 +156,7 @@ func BuildDesignContext(ctx context.Context, cfg DesignConfig) (*Design, error) 
 	default:
 		res, err = mcts.Search(prob, cfg.MCTS)
 	}
+	searchTrace.End()
 	searchSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: EIR search: %w", err)

@@ -9,6 +9,7 @@ import (
 
 	"equinox/internal/fleet/store"
 	"equinox/internal/obs"
+	"equinox/internal/obs/trace"
 )
 
 // Config tunes the coordinator.
@@ -109,6 +110,12 @@ type trackedUnit struct {
 	lease    *lease
 	result   []byte
 	errMsg   string
+
+	// span covers the unit from submission to resolution; wait covers one
+	// queued period (submission or requeue → lease grant). Both nil when
+	// the job carries no trace.
+	span *trace.Span
+	wait *trace.Span
 }
 
 // trackedJob is the coordinator's record of one sharded job.
@@ -144,6 +151,13 @@ type JobCallbacks struct {
 	// OnDone delivers the assembled canonical evaluation document, or an
 	// assembly error. It is not invoked for cancelled jobs.
 	OnDone func(result []byte, err error)
+	// Trace, when non-nil, collects the job's distributed spans: the
+	// coordinator opens a span per unit under Parent (the job span's ID),
+	// times lease waits, and stitches in worker-shipped spans from
+	// complete payloads.
+	Trace *trace.Trace
+	// Parent is the span ID unit spans attach under.
+	Parent string
 }
 
 // Coordinator shards jobs into leasable units and tracks workers, leases,
@@ -251,15 +265,26 @@ func (c *Coordinator) SubmitJob(id string, class Class, units []Unit, cb JobCall
 	for _, u := range units {
 		tu := &trackedUnit{Unit: u, job: j}
 		j.units = append(j.units, tu)
+		tu.span = cb.Trace.Start(cb.Parent, "unit "+u.Scheme+"/"+u.Benchmark)
+		tu.span.SetAttr("scheme", u.Scheme)
+		tu.span.SetAttr("benchmark", u.Benchmark)
+		tu.span.SetAttr("unitKey", u.Key)
 		// The store probe happens before the units are visible to any
 		// worker, so no lock is needed yet.
 		if c.cfg.Store != nil {
-			if res, ok := c.cfg.Store.Get(u.Key); ok {
+			lookup := cb.Trace.Start(tu.span.ID(), "store lookup")
+			res, ok := c.cfg.Store.Get(u.Key)
+			lookup.SetAttr("hit", fmt.Sprintf("%v", ok))
+			lookup.End()
+			if ok {
 				tu.state = unitDone
 				tu.result = res
 				j.rem--
 				doneUnits++
 				c.met.UnitCacheHits.Inc()
+				tu.span.SetAttr("cache", "hit")
+				tu.span.End()
+				tu.span = nil
 				events = append(events, Event{
 					Type: "cache", Status: "completed",
 					Scheme: u.Scheme, Benchmark: u.Benchmark, UnitKey: u.Key,
@@ -268,6 +293,7 @@ func (c *Coordinator) SubmitJob(id string, class Class, units []Unit, cb JobCall
 				continue
 			}
 		}
+		tu.wait = cb.Trace.Start(tu.span.ID(), "lease wait")
 		pending = append(pending, tu)
 	}
 
@@ -358,22 +384,30 @@ func (c *Coordinator) Lease(worker string) (LeaseResponse, bool) {
 		c.leases[l.id] = l
 		c.workerLeases[worker]++
 		c.met.WorkerBusy.With(worker).Set(1)
+		u.wait.SetAttr("worker", worker)
+		u.wait.End()
+		u.wait = nil
 		c.log.Info("unit leased",
 			"jobId", u.JobID, "unitKey", u.Key, "leaseId", l.id,
 			"worker", worker, "attempt", u.attempts,
 			"scheme", u.Scheme, "benchmark", u.Benchmark)
-		return LeaseResponse{
+		resp := LeaseResponse{
 			LeaseID:   l.id,
 			TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
 			Unit:      u.Unit,
-		}, true
+		}
+		// The traceparent rides the grant, not the spec: a tracing worker
+		// joins the unit span so its spans stitch under the job's trace.
+		resp.Unit.TraceParent = u.span.TraceParent()
+		return resp, true
 	}
 }
 
 // Complete records a unit's outcome. An unknown lease (expired and
 // re-granted, or from a cancelled job) returns ErrUnknownLease; the
-// worker discards the unit.
-func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string) error {
+// worker discards the unit. spans, when present, are the worker's
+// finished spans for the unit, stitched into the job's trace.
+func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string, spans []trace.SpanRecord) error {
 	now := time.Now()
 	c.mu.Lock()
 	l, ok := c.leases[leaseID]
@@ -390,6 +424,7 @@ func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string) err
 		c.mu.Unlock()
 		return nil
 	}
+	c.stitchSpansLocked(u, l, now, spans)
 	var d delivery
 	var storePut bool
 	if errMsg != "" {
@@ -403,6 +438,12 @@ func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string) err
 			delete(c.jobs, j.id) // finished: allow future re-submission
 		}
 		c.met.UnitsCompleted.Inc()
+		c.met.UnitDuration.With(u.Scheme).
+			Observe(now.Sub(l.expires.Add(-c.cfg.LeaseTTL)).Seconds())
+		u.span.SetAttr("worker", l.worker)
+		u.span.SetAttrInt("attempts", int64(u.attempts))
+		u.span.End()
+		u.span = nil
 		storePut = c.cfg.Store != nil
 		d = delivery{job: j, events: []Event{{
 			Type: "unit", Status: "completed",
@@ -442,6 +483,32 @@ func (c *Coordinator) Heartbeat(worker string, leaseIDs []string) (canceled []st
 	return canceled
 }
 
+// stitchSpansLocked imports a worker's spans into the job's trace and
+// synthesizes the "complete round-trip" span the worker cannot record
+// itself (its payload is sealed before the POST): from the last
+// worker-side span end to coordinator receipt. Clock-skew-bounded — the
+// two timestamps come from different hosts.
+func (c *Coordinator) stitchSpansLocked(u *trackedUnit, l *lease, now time.Time, spans []trace.SpanRecord) {
+	tr := u.job.cb.Trace
+	if tr == nil || len(spans) == 0 {
+		return
+	}
+	tr.Import(spans)
+	var lastEnd int64
+	for _, r := range spans {
+		if end := r.StartUnixNS + r.DurNS; end > lastEnd {
+			lastEnd = end
+		}
+	}
+	start := time.Unix(0, lastEnd)
+	d := now.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	tr.Observe(u.span.ID(), "complete round-trip", start, d,
+		trace.Attr{K: "worker", S: l.worker})
+}
+
 // retryUnitLocked handles a failed attempt (worker-reported failure or
 // expired lease): back off and requeue while budget remains, otherwise
 // mark the unit failed. Returns the callback delivery to run after
@@ -458,6 +525,9 @@ func (c *Coordinator) retryUnitLocked(u *trackedUnit, now time.Time, reason stri
 		}
 		c.met.UnitsFailed.Inc()
 		u.errMsg = fmt.Sprintf("failed after %d attempts: %s", u.attempts, reason)
+		u.span.SetAttr("error", u.errMsg)
+		u.span.End()
+		u.span = nil
 		c.log.Warn("unit failed",
 			"jobId", u.JobID, "unitKey", u.Key,
 			"attempts", u.attempts, "error", reason)
@@ -476,6 +546,9 @@ func (c *Coordinator) retryUnitLocked(u *trackedUnit, now time.Time, reason stri
 	u.readyAt = now.Add(backoff)
 	c.waiting[u] = struct{}{}
 	c.met.UnitsRetried.Inc()
+	// A fresh wait span covers backoff + queue time until the next grant.
+	u.wait = u.job.cb.Trace.Start(u.span.ID(), "lease wait")
+	u.wait.SetAttr("retry", reason)
 	c.log.Warn("unit retrying",
 		"jobId", u.JobID, "unitKey", u.Key,
 		"attempt", u.attempts, "backoffMs", backoff.Milliseconds(), "error", reason)

@@ -20,7 +20,11 @@
 // which the canonical form strips — see CanonicalResult).
 package fleet
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"equinox/internal/obs/trace"
+)
 
 // Class is a queue priority class. Interactive jobs (small sweeps a
 // human is waiting on) are dequeued ahead of batch jobs at a fixed
@@ -57,6 +61,11 @@ type Unit struct {
 	Scheme    string          `json:"scheme"`
 	Benchmark string          `json:"benchmark"`
 	Spec      json.RawMessage `json:"spec"`
+	// TraceParent is the W3C trace context of the coordinator-side unit
+	// span; a tracing worker joins it so its spans stitch under the job's
+	// trace. Empty when the job has no trace. Excluded from content keys
+	// (it rides the lease grant, not the spec).
+	TraceParent string `json:"traceParent,omitempty"`
 }
 
 // Event is a job progress notification delivered to the coordinator's
@@ -75,6 +84,9 @@ type Event struct {
 	Total int `json:"total"`
 	// Err carries the failure message of failed/retrying units.
 	Err string `json:"error,omitempty"`
+	// Spans is set on terminal job events when an assembled span trace is
+	// available at GET /v1/jobs/{id}/spans.
+	Spans bool `json:"spans,omitempty"`
 }
 
 // Wire types of the coordinator/worker HTTP protocol.
@@ -101,6 +113,10 @@ type CompleteRequest struct {
 	LeaseID string          `json:"leaseId"`
 	Result  json.RawMessage `json:"result,omitempty"`
 	Error   string          `json:"error,omitempty"`
+	// Spans carries the worker's finished spans for the unit (present only
+	// when the lease carried a TraceParent and the worker traces); the
+	// coordinator stitches them into the job's trace.
+	Spans []trace.SpanRecord `json:"spans,omitempty"`
 }
 
 // HeartbeatRequest renews a worker's leases and marks it alive.

@@ -14,6 +14,11 @@ type Metrics struct {
 	UnitCacheHits  *obs.Counter
 	LeasesExpired  *obs.Counter
 
+	// UnitDuration observes each completed unit's grant-to-complete wall
+	// time by scheme, so unit-level latency is visible from /v1/metrics
+	// without pulling a trace.
+	UnitDuration *obs.HistogramVec
+
 	// WorkerLastSeen carries the unix timestamp of each worker's last
 	// lease or heartbeat; alerting on now() - value is the standard
 	// liveness check.
@@ -37,6 +42,9 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Work units answered from the content-addressed result store."),
 		LeasesExpired: reg.Counter("equinox_fleet_leases_expired_total",
 			"Leases that expired without completion (crashed or stalled workers)."),
+		UnitDuration: reg.HistogramVec("equinox_fleet_unit_duration_seconds",
+			"Wall time from lease grant to successful completion, by scheme.",
+			obs.DefaultLatencyBuckets(), "scheme"),
 		WorkerLastSeen: reg.GaugeVec("equinox_fleet_worker_last_seen_timestamp_seconds",
 			"Unix time of each worker's last lease or heartbeat.", "worker"),
 		WorkerBusy: reg.GaugeVec("equinox_fleet_worker_busy",

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"equinox/internal/obs"
+	"equinox/internal/obs/trace"
 )
 
 // RunFunc executes one work unit's canonical spec and returns its
@@ -43,6 +44,12 @@ type WorkerConfig struct {
 	// Client is the HTTP client used for protocol calls (nil uses a
 	// client with a 30s timeout).
 	Client *http.Client
+	// Tracer, when non-nil, records per-unit spans: each granted unit
+	// whose lease carries a TraceParent gets a root span joined to the
+	// coordinator's trace, the Run context carries it (so harness/sim
+	// spans nest under it), and the finished spans ship back in the
+	// complete payload.
+	Tracer *trace.Tracer
 }
 
 // Worker pulls units from a coordinator and executes them. Create one
@@ -157,7 +164,21 @@ func (w *Worker) execute(ctx context.Context, grant LeaseResponse) {
 	w.log.Info("unit started",
 		"leaseId", grant.LeaseID, "jobId", grant.Unit.JobID,
 		"scheme", grant.Unit.Scheme, "benchmark", grant.Unit.Benchmark)
+	var tr *trace.Trace
+	var sp *trace.Span
+	if w.cfg.Tracer != nil && grant.Unit.TraceParent != "" {
+		if joined, parent, ok := w.cfg.Tracer.Join(grant.Unit.TraceParent); ok {
+			tr = joined
+			sp = tr.Start(parent, "run "+grant.Unit.Scheme+"/"+grant.Unit.Benchmark)
+			sp.SetAttr("leaseId", grant.LeaseID)
+			unitCtx = trace.WithSpan(unitCtx, sp)
+		}
+	}
 	result, runErr := w.cfg.Run(unitCtx, grant.Unit)
+	if runErr != nil {
+		sp.SetAttr("error", runErr.Error())
+	}
+	sp.End()
 
 	w.mu.Lock()
 	abandoned := wl.abandoned
@@ -173,7 +194,7 @@ func (w *Worker) execute(ctx context.Context, grant LeaseResponse) {
 		return
 	}
 
-	req := CompleteRequest{LeaseID: grant.LeaseID}
+	req := CompleteRequest{LeaseID: grant.LeaseID, Spans: tr.Records()}
 	if runErr != nil {
 		req.Error = runErr.Error()
 		w.log.Warn("unit failed",

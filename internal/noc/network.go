@@ -60,6 +60,11 @@ type Network struct {
 	phaseFn  func(int) // bound runShardPhase, built once to avoid per-cycle closures
 	curPhase int
 
+	// barrierWaitNS accumulates the sampled per-phase barrier waits (one
+	// sample every barrierSampleEvery sharded cycles); BarrierWaitNS exposes
+	// it for per-run span attribution.
+	barrierWaitNS [numPhases]int64
+
 	// classVCList is the precomputed per-class downstream-VC preference
 	// order (see initClassVCs).
 	classVCList [NumClasses][]int

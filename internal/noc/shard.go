@@ -214,12 +214,20 @@ func (n *Network) runPhasePar(phase int) {
 	n.curPhase = phase
 	n.group.Run(len(n.shards), n.phaseFn)
 	if n.Stats.cycles%barrierSampleEvery == 0 {
+		w := n.group.TakeWaitNS()
+		n.barrierWaitNS[phase] += w
 		if fn, ok := barrierObserver.Load().(func(int, int64)); ok && fn != nil {
-			fn(phase, n.group.TakeWaitNS())
-		} else {
-			n.group.TakeWaitNS()
+			fn(phase, w)
 		}
 	}
+}
+
+// BarrierWaitNS returns the cumulative sampled barrier wait for one phase
+// (0=link, 1=vc, 2=sa) since the network was built. Samples are taken every
+// barrierSampleEvery sharded cycles, so the value is an estimator of shard
+// imbalance, not a total — compare runs, don't sum into wall time.
+func (n *Network) BarrierWaitNS(phase int) int64 {
+	return n.barrierWaitNS[phase]
 }
 
 // flushFlightOps replays a shard's staged flight operations in order.

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"equinox/internal/obs/trace"
 )
 
 // DefaultLatencyBuckets are the request-latency histogram bounds in
@@ -103,10 +105,12 @@ func RequestIDFrom(ctx context.Context) string {
 
 // Middleware instruments an HTTP handler: per-route request counters and
 // latency histograms, an in-flight gauge, request IDs echoed in the
-// response (honoring an incoming X-Request-Id), and one structured access
-// log line per request. route maps a request to a bounded label value
-// (never the raw path — unbounded label cardinality would leak memory).
-func Middleware(next http.Handler, m *HTTPMetrics, logger *slog.Logger, route func(*http.Request) string) http.Handler {
+// response (honoring an incoming X-Request-Id), a root trace span per
+// request (joining an incoming W3C traceparent when tracer is non-nil),
+// and one structured access log line per request. route maps a request to
+// a bounded label value (never the raw path — unbounded label cardinality
+// would leak memory).
+func Middleware(next http.Handler, m *HTTPMetrics, logger *slog.Logger, tracer *trace.Tracer, route func(*http.Request) string) http.Handler {
 	if logger == nil {
 		logger = NopLogger()
 	}
@@ -116,7 +120,24 @@ func Middleware(next http.Handler, m *HTTPMetrics, logger *slog.Logger, route fu
 			rid = nextRequestID()
 		}
 		w.Header().Set(RequestIDHeader, rid)
-		r = r.WithContext(WithRequestID(r.Context(), rid))
+		ctx := WithRequestID(r.Context(), rid)
+
+		rt := route(r)
+		var sp *trace.Span
+		if tracer != nil {
+			// Join the caller's trace if it sent one; otherwise this
+			// request roots a fresh trace.
+			tr, parent, ok := tracer.Join(r.Header.Get(trace.TraceParentHeader))
+			if !ok {
+				tr, parent = tracer.New(), ""
+			}
+			sp = tr.Start(parent, "http "+rt)
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("route", rt)
+			sp.SetAttr("requestId", rid)
+			ctx = trace.WithSpan(ctx, sp)
+		}
+		r = r.WithContext(ctx)
 
 		m.inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w}
@@ -128,7 +149,8 @@ func Middleware(next http.Handler, m *HTTPMetrics, logger *slog.Logger, route fu
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		rt := route(r)
+		sp.SetAttrInt("status", int64(sw.status))
+		sp.End()
 		m.latency.With(rt).Observe(elapsed.Seconds())
 		m.requests.With(rt, r.Method, fmt.Sprintf("%d", sw.status)).Inc()
 		logger.Info("http request",

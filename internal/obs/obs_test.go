@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"equinox/internal/obs/trace"
 )
 
 func TestRegistryExposition(t *testing.T) {
@@ -215,14 +217,17 @@ func TestMiddleware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tracer := trace.NewTracer("test-server")
+	var lastTrace *trace.Trace
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lastTrace = trace.SpanFrom(r.Context()).Trace()
 		if r.URL.Path == "/missing" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Write([]byte("ok"))
 	})
-	h := Middleware(inner, m, logger, func(r *http.Request) string {
+	h := Middleware(inner, m, logger, tracer, func(r *http.Request) string {
 		if r.URL.Path == "/missing" {
 			return "other"
 		}
@@ -239,8 +244,12 @@ func TestMiddleware(t *testing.T) {
 	if rid := resp.Header.Get(RequestIDHeader); rid == "" {
 		t.Error("response missing generated X-Request-Id")
 	}
+	if recs := lastTrace.Records(); len(recs) != 1 || recs[0].Name != "http /v1/jobs" {
+		t.Errorf("root span records = %+v, want one http /v1/jobs span", recs)
+	}
 
 	req, _ := http.NewRequest("GET", srv.URL+"/missing", nil)
+	req.Header.Set(trace.TraceParentHeader, "00-11112222333344445555666677778888-aaaabbbbccccdddd-01")
 	req.Header.Set(RequestIDHeader, "caller-supplied-1")
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
@@ -249,6 +258,12 @@ func TestMiddleware(t *testing.T) {
 	resp.Body.Close()
 	if got := resp.Header.Get(RequestIDHeader); got != "caller-supplied-1" {
 		t.Errorf("X-Request-Id = %q, want caller-supplied-1 echoed", got)
+	}
+	if got := lastTrace.ID(); got != "11112222333344445555666677778888" {
+		t.Errorf("trace ID = %q, want the caller's traceparent joined", got)
+	}
+	if recs := lastTrace.Records(); len(recs) != 1 || recs[0].ParentID != "aaaabbbbccccdddd" {
+		t.Errorf("joined span records = %+v, want parent aaaabbbbccccdddd", recs)
 	}
 
 	var buf bytes.Buffer

@@ -119,6 +119,14 @@ func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterV
 	return &CounterVec{f: r.family(name, help, TypeCounter, labelNames, nil)}
 }
 
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be safe to call concurrently and monotonically
+// non-decreasing (e.g. backed by an atomic total).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, TypeCounter, nil, nil)
+	f.child(nil, func() metric { return counterFunc(fn) })
+}
+
 // Gauge registers (or fetches) an unlabelled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	f := r.family(name, help, TypeGauge, nil, nil)
@@ -269,6 +277,13 @@ type GaugeVec struct{ f *family }
 // registration's label names).
 func (v *GaugeVec) With(labelValues ...string) *Gauge {
 	return v.f.child(labelValues, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// counterFunc is a scrape-time callback counter.
+type counterFunc func() float64
+
+func (fn counterFunc) writeSamples(w io.Writer, name, labels string, _ []float64) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(fn()))
 }
 
 // gaugeFunc is a scrape-time callback gauge.

@@ -15,6 +15,8 @@ type Phase struct {
 	Count int64   `json:"count"`
 	NS    int64   `json:"ns"`
 	MS    float64 `json:"ms"` // NS in milliseconds, for human-readable JSON
+	MinNS int64   `json:"minNs"`
+	MaxNS int64   `json:"maxNs"`
 }
 
 // Recorder aggregates span durations by phase name. Safe for concurrent
@@ -44,8 +46,15 @@ func (r *Recorder) Record(name string, d time.Duration) {
 		r.order = append(r.order, name)
 	}
 	p.Count++
-	p.NS += d.Nanoseconds()
+	ns := d.Nanoseconds()
+	p.NS += ns
 	p.MS = float64(p.NS) / 1e6
+	if p.Count == 1 || ns < p.MinNS {
+		p.MinNS = ns
+	}
+	if ns > p.MaxNS {
+		p.MaxNS = ns
+	}
 }
 
 // Phases snapshots the recorded phases in first-seen order.

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+)
+
+// pfEvent is one Chrome trace-event object, the same format internal/flight
+// exports: "M" metadata events name processes and threads, "X" complete
+// events render each span as a slice.
+type pfEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WritePerfetto renders an assembled trace as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing. Each node (coordinator, each
+// worker) becomes one process; within a process, spans group onto one
+// thread per fleet unit (the nearest ancestor-or-self span whose name
+// starts with "unit"), with control-plane spans on thread 0. Timestamps
+// are wall-clock microseconds relative to the earliest span — spans from
+// different nodes share the timeline best-effort (clock skew shifts a
+// node's block, never its internal structure).
+func WritePerfetto(w io.Writer, traceID string, recs []SpanRecord) error {
+	// Deterministic output: order by start time, then name/ID tiebreaks.
+	sorted := append([]SpanRecord(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := &sorted[i], &sorted[j]
+		if a.StartUnixNS != b.StartUnixNS {
+			return a.StartUnixNS < b.StartUnixNS
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.SpanID < b.SpanID
+	})
+
+	byID := make(map[string]*SpanRecord, len(sorted))
+	var base int64
+	for i := range sorted {
+		r := &sorted[i]
+		byID[r.SpanID] = r
+		if base == 0 || r.StartUnixNS < base {
+			base = r.StartUnixNS
+		}
+	}
+
+	// unitOf walks toward the root until it meets a "unit …" span; spans
+	// with no such ancestor are control-plane work. The walk crosses node
+	// boundaries — a worker's spans land on the coordinator unit's thread
+	// ordinal within the *worker's* process row.
+	unitOf := func(r *SpanRecord) string {
+		for depth := 0; r != nil && depth < 64; depth++ {
+			if strings.HasPrefix(r.Name, "unit") {
+				return r.SpanID
+			}
+			r = byID[r.ParentID]
+		}
+		return ""
+	}
+
+	var out []pfEvent
+	pids := map[string]int{}
+	type threadKey struct {
+		pid  int
+		unit string
+	}
+	tids := map[threadKey]int{}
+	nextTID := map[int]int{}
+
+	for i := range sorted {
+		r := &sorted[i]
+		node := r.Node
+		if node == "" {
+			node = "unknown"
+		}
+		pid, ok := pids[node]
+		if !ok {
+			pid = len(pids)
+			pids[node] = pid
+			out = append(out, pfEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": node},
+			})
+		}
+		unit := unitOf(r)
+		tk := threadKey{pid, unit}
+		tid, ok := tids[tk]
+		if !ok {
+			if unit == "" {
+				tid = 0
+			} else {
+				nextTID[pid]++
+				tid = nextTID[pid]
+			}
+			tids[tk] = tid
+			tname := "control"
+			if unit != "" {
+				tname = byID[unit].Name
+			}
+			out = append(out, pfEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": tname},
+			})
+		}
+		args := map[string]any{"spanId": r.SpanID}
+		if r.ParentID != "" {
+			args["parentId"] = r.ParentID
+		}
+		for _, a := range r.Attrs {
+			if a.S != "" {
+				args[a.K] = a.S
+			} else {
+				args[a.K] = a.I
+			}
+		}
+		dur := r.DurNS / 1000
+		if dur < 1 {
+			dur = 1
+		}
+		out = append(out, pfEvent{
+			Name: r.Name, Cat: "span", Ph: "X",
+			TS: (r.StartUnixNS - base) / 1000, Dur: dur,
+			PID: pid, TID: tid, Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]any{
+			"traceId": traceID,
+			"spans":   len(sorted),
+		},
+	})
+}

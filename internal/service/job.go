@@ -6,6 +6,8 @@ import (
 	"log/slog"
 	"sync/atomic"
 	"time"
+
+	obstrace "equinox/internal/obs/trace"
 )
 
 // JobState is a job's lifecycle stage.
@@ -55,6 +57,15 @@ type job struct {
 	// trace is the rendered Perfetto artifact of a Trace-flagged job
 	// (GET /v1/jobs/{id}/trace); nil until the job completes.
 	trace []byte
+
+	// tr collects the job's distributed spans (adopted from the submitting
+	// request's trace) and span is the root "job" span unit and phase spans
+	// hang from; spans is the rendered trace-event artifact served at
+	// GET /v1/jobs/{id}/spans once the job finishes and survives tail
+	// sampling.
+	tr    *obstrace.Trace
+	span  *obstrace.Span
+	spans []byte
 
 	// events fans job progress out to SSE subscribers
 	// (GET /v1/jobs/{id}/events); closed after the terminal event.

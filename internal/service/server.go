@@ -19,6 +19,7 @@ import (
 	"equinox/internal/fleet"
 	"equinox/internal/fleet/store"
 	"equinox/internal/obs"
+	"equinox/internal/obs/trace"
 )
 
 // Config sizes the server.
@@ -55,6 +56,15 @@ type Config struct {
 	// Logger receives structured access and job-lifecycle logs; nil discards
 	// them (the right default for embedded and test servers).
 	Logger *slog.Logger
+	// TraceTail is the tail-sampling threshold for distributed span traces:
+	// jobs slower than it always keep their assembled trace at
+	// GET /v1/jobs/{id}/spans; faster jobs keep 1-in-TraceSample. Zero
+	// keeps every trace (collection is always on — sampling only governs
+	// retention, so the span counters stay meaningful either way).
+	TraceTail time.Duration
+	// TraceSample keeps 1 in N traces of jobs faster than TraceTail
+	// (0 with a non-zero TraceTail drops all fast traces).
+	TraceSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,10 +98,11 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	queue *fleet.FairQueue[*job]
-	coord *fleet.Coordinator
-	met   *metrics
-	log   *slog.Logger
+	queue  *fleet.FairQueue[*job]
+	coord  *fleet.Coordinator
+	met    *metrics
+	log    *slog.Logger
+	tracer *trace.Tracer
 
 	mu     sync.Mutex
 	closed bool
@@ -122,6 +133,7 @@ func New(cfg Config) *Server {
 	if s.log == nil {
 		s.log = obs.NopLogger()
 	}
+	s.tracer = trace.NewTracer("coordinator")
 	s.met = newMetrics(
 		func() float64 { return float64(cfg.Workers) },
 		func() float64 { return float64(s.queue.Len()) },
@@ -129,6 +141,12 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.store.SizeBytes()) },
 	)
 	s.met.observeBarrierWaits()
+	s.met.reg.CounterFunc("equinox_trace_spans_total",
+		"Trace spans started on this node (including ones later dropped at a per-trace cap).",
+		func() float64 { return float64(s.tracer.SpansTotal()) })
+	s.met.reg.CounterFunc("equinox_trace_dropped_spans_total",
+		"Trace spans dropped at a per-trace span cap.",
+		func() float64 { return float64(s.tracer.DroppedTotal()) })
 
 	fcfg := cfg.Fleet
 	fcfg.Store = s.store
@@ -207,6 +225,8 @@ func (s *Server) run(j *job) {
 	cfg, err := j.spec.evalConfig()
 	s.mu.Unlock()
 	s.met.queueWait.Observe(queueWait.Seconds())
+	j.tr.Observe(j.span.ID(), "queue wait", j.submitted, queueWait)
+	ctx = trace.WithSpan(ctx, j.span)
 	j.log.Info("job started", "state", JobRunning, "queueWaitMs", durMS(queueWait))
 	if err != nil {
 		// Canonicalization already validated the spec; this is a backstop.
@@ -232,6 +252,55 @@ func (s *Server) run(j *job) {
 // durMS renders a duration as fractional milliseconds for log fields.
 func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
+// captureSpans finalizes a job's distributed trace: ends the job span,
+// applies tail sampling, renders the trace-event artifact, and stores it
+// on the job. Returns true when an artifact is now being served at
+// GET /v1/jobs/{id}/spans. Safe to call on untraced jobs.
+func (s *Server) captureSpans(j *job, status JobState, elapsed time.Duration) bool {
+	if j.tr == nil || j.span == nil {
+		return false
+	}
+	j.span.SetAttr("status", string(status))
+	j.span.End()
+	j.span = nil
+	if !s.keepTrace(j.id, elapsed) {
+		return false
+	}
+	var buf bytes.Buffer
+	if err := trace.WritePerfetto(&buf, j.tr.ID(), j.tr.Records()); err != nil {
+		j.log.Warn("span trace render failed", "error", err)
+		return false
+	}
+	s.mu.Lock()
+	j.spans = buf.Bytes()
+	s.mu.Unlock()
+	if dropped := j.tr.Dropped(); dropped > 0 {
+		j.log.Warn("span trace truncated", "droppedSpans", dropped)
+	}
+	j.log.Info("span trace captured",
+		"traceId", j.tr.ID(), "spanBytes", buf.Len())
+	return true
+}
+
+// keepTrace is the tail-sampling policy: every trace when TraceTail is
+// unset, always-keep for jobs slower than TraceTail, and a deterministic
+// 1-in-TraceSample of the fast ones (keyed on the job's content hash, so
+// re-runs of a spec sample consistently).
+func (s *Server) keepTrace(id string, elapsed time.Duration) bool {
+	if s.cfg.TraceTail <= 0 || elapsed >= s.cfg.TraceTail {
+		return true
+	}
+	n := s.cfg.TraceSample
+	if n <= 0 {
+		return false
+	}
+	var h uint32
+	for i := 0; i < len(id); i++ {
+		h = h*31 + uint32(id[i])
+	}
+	return h%uint32(n) == 0
+}
+
 // finish records a job's outcome and, on success, stores its result in the
 // store, dropping the bookkeeping of any entries the insert evicted.
 func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
@@ -247,8 +316,9 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 		s.mu.Unlock()
 		if byShutdown {
 			s.met.jobsCancelled.Add(1)
+			hasSpans := s.captureSpans(j, JobCancelled, now.Sub(j.started))
 			j.log.Info("job cancelled", "state", JobCancelled, "runMs", durMS(now.Sub(j.started)))
-			j.events.publish(fleet.Event{Type: "job", Status: string(JobCancelled)})
+			j.events.publish(fleet.Event{Type: "job", Status: string(JobCancelled), Spans: hasSpans})
 		}
 	case err != nil:
 		s.mu.Lock()
@@ -257,8 +327,9 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 		j.finished = now
 		s.mu.Unlock()
 		s.met.jobsFailed.Add(1)
+		hasSpans := s.captureSpans(j, JobFailed, now.Sub(j.started))
 		j.log.Error("job failed", "state", JobFailed, "error", err.Error(), "runMs", durMS(now.Sub(j.started)))
-		j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: err.Error()})
+		j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: err.Error(), Spans: hasSpans})
 	default:
 		var buf bytes.Buffer
 		werr := ev.WriteJSON(&buf)
@@ -288,8 +359,9 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 			j.finished = now
 			s.met.jobsFailed.Add(1)
 			s.mu.Unlock()
+			hasSpans := s.captureSpans(j, JobFailed, now.Sub(j.started))
 			j.log.Error("job failed", "state", JobFailed, "error", werr.Error(), "runMs", durMS(now.Sub(j.started)))
-			j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: werr.Error()})
+			j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: werr.Error(), Spans: hasSpans})
 		case j.state == JobCancelled:
 			// DELETE raced with completion; honor the cancellation. The
 			// hub closed when the DELETE landed.
@@ -303,9 +375,10 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 			}
 			s.met.jobsCompleted.Add(1)
 			s.mu.Unlock()
+			hasSpans := s.captureSpans(j, JobDone, now.Sub(j.started))
 			j.log.Info("job completed", "state", JobDone,
 				"runMs", durMS(now.Sub(j.started)), "resultBytes", buf.Len())
-			j.events.publish(fleet.Event{Type: "job", Status: string(JobDone)})
+			j.events.publish(fleet.Event{Type: "job", Status: string(JobDone), Spans: hasSpans})
 		}
 	}
 	j.events.close()
@@ -317,6 +390,7 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 //	GET    /v1/jobs/{id}         status, progress, and (when done) the result JSON
 //	GET    /v1/jobs/{id}/events  server-sent progress events until the job ends
 //	GET    /v1/jobs/{id}/trace   Perfetto trace artifact of a Trace-flagged job
+//	GET    /v1/jobs/{id}/spans   assembled distributed span trace (Perfetto JSON)
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET    /v1/metrics           text-format counters and gauges
 //	GET    /v1/healthz           liveness probe
@@ -327,6 +401,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -334,7 +409,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	fleet.RegisterHandlers(mux, s.coord, s.log)
-	return obs.Middleware(mux, s.met.http, s.log, routeOf)
+	return obs.Middleware(mux, s.met.http, s.log, s.tracer, routeOf)
 }
 
 // routeOf maps a request to its route label. Label values must stay bounded
@@ -349,6 +424,8 @@ func routeOf(r *http.Request) string {
 		return "/v1/jobs/{id}/trace"
 	case strings.HasPrefix(p, "/v1/jobs/") && strings.HasSuffix(p, "/events"):
 		return "/v1/jobs/{id}/events"
+	case strings.HasPrefix(p, "/v1/jobs/") && strings.HasSuffix(p, "/spans"):
+		return "/v1/jobs/{id}/spans"
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		return "/v1/jobs/{id}"
 	case p == "/v1/fleet/lease", p == "/v1/fleet/complete", p == "/v1/fleet/heartbeat":
@@ -428,6 +505,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.newJobLocked(key, canon, obs.RequestIDFrom(r.Context()))
+	// Adopt the submitting request's trace: the job span outlives the HTTP
+	// root span and collects every phase — queue wait, per-unit fleet
+	// spans, harness and simulator phases.
+	if sp := trace.SpanFrom(r.Context()); sp != nil {
+		j.tr = sp.Trace()
+		j.span = j.tr.Start(sp.ID(), "job")
+		j.span.SetAttr("jobId", key)
+		j.span.SetAttrInt("runs", int64(j.totalRuns))
+	}
 	// Shard multi-run sweeps across the fleet while workers are alive.
 	// Trace-flagged jobs always run locally: the flight recorder's
 	// artifact is process-local state.
@@ -557,14 +643,42 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s; the trace artifact appears when it completes", st))
 		return
 	}
-	trace := j.trace
+	artifact := j.trace
 	s.mu.Unlock()
-	if trace == nil {
+	if artifact == nil {
 		httpError(w, http.StatusNotFound, "no trace artifact (job failed or was cancelled before capture)")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(trace)
+	w.Write(artifact)
+}
+
+// handleSpans serves a job's assembled distributed span trace — the
+// coordinator's job/unit spans stitched with every worker's run spans,
+// rendered as Perfetto trace-event JSON.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such job (span traces do not survive restarts)")
+		return
+	}
+	if !j.state.Finished() {
+		st := j.state
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s; the span trace appears when it completes", st))
+		return
+	}
+	spans := j.spans
+	s.mu.Unlock()
+	if spans == nil {
+		httpError(w, http.StatusNotFound, "no span trace (tail-sampled out, or the job was cancelled before assembly)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(spans)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

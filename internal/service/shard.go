@@ -53,6 +53,8 @@ func (s *Server) submitSharded(j *job, units []fleet.Unit) error {
 		OnDone: func(result []byte, err error) {
 			s.finishSharded(j, result, err)
 		},
+		Trace:  j.tr,
+		Parent: j.span.ID(),
 	}
 	return s.coord.SubmitJob(j.id, j.spec.class(), units, cb)
 }
@@ -73,9 +75,10 @@ func (s *Server) finishSharded(j *job, result []byte, err error) {
 		j.finished = now
 		s.mu.Unlock()
 		s.met.jobsFailed.Add(1)
+		hasSpans := s.captureSpans(j, JobFailed, now.Sub(j.started))
 		j.log.Error("job failed", "state", JobFailed, "error", err.Error(),
 			"runMs", durMS(now.Sub(j.started)))
-		j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: err.Error()})
+		j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: err.Error(), Spans: hasSpans})
 		j.events.close()
 		return
 	}
@@ -86,8 +89,9 @@ func (s *Server) finishSharded(j *job, result []byte, err error) {
 	}
 	s.mu.Unlock()
 	s.met.jobsCompleted.Add(1)
+	hasSpans := s.captureSpans(j, JobDone, now.Sub(j.started))
 	j.log.Info("job completed", "state", JobDone, "sharded", true,
 		"runMs", durMS(now.Sub(j.started)), "resultBytes", len(result))
-	j.events.publish(fleet.Event{Type: "job", Status: string(JobDone)})
+	j.events.publish(fleet.Event{Type: "job", Status: string(JobDone), Spans: hasSpans})
 	j.events.close()
 }

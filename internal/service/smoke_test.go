@@ -189,6 +189,77 @@ func TestFleetSmoke(t *testing.T) {
 	if len(entries) < 4 {
 		t.Errorf("store dir holds %d entries, want >= 4 (units + sweep)", len(entries))
 	}
+
+	// The job's distributed span trace: one stitched trace with the
+	// coordinator's spans and both workers' unit spans under one trace ID.
+	// Set FLEET_SMOKE_SPANS to also write it out (CI uploads the artifact).
+	r, err := http.Get(base + "/v1/jobs/" + sub.ID + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spansRaw, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /spans: %d: %s", r.StatusCode, spansRaw)
+	}
+	if p := os.Getenv("FLEET_SMOKE_SPANS"); p != "" {
+		if err := os.WriteFile(p, spansRaw, 0o644); err != nil {
+			t.Errorf("write span artifact: %v", err)
+		}
+	}
+	var env struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			TraceID string `json:"traceId"`
+			Spans   int    `json:"spans"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(spansRaw, &env); err != nil {
+		t.Fatalf("span trace is not well-formed trace-event JSON: %v", err)
+	}
+	if len(env.OtherData.TraceID) != 32 {
+		t.Errorf("trace ID %q, want 32 hex chars", env.OtherData.TraceID)
+	}
+	nodes := map[string]bool{}
+	var units, runs int
+	for _, ev := range env.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				if n, _ := ev.Args["name"].(string); n != "" {
+					nodes[n] = true
+				}
+			}
+		case "X":
+			if ev.Name == "" || ev.Dur < 1 {
+				t.Errorf("malformed span event %+v", ev)
+			}
+			if strings.HasPrefix(ev.Name, "unit ") {
+				units++
+			}
+			if strings.HasPrefix(ev.Name, "run ") {
+				runs++
+			}
+		default:
+			t.Errorf("unexpected trace-event phase %q", ev.Ph)
+		}
+	}
+	for _, want := range []string{"coordinator", "smoke-0", "smoke-1"} {
+		if !nodes[want] {
+			t.Errorf("span trace is missing node %q (got %v)", want, nodes)
+		}
+	}
+	if units != 4 {
+		t.Errorf("unit spans = %d, want 4", units)
+	}
+	if runs < 4 {
+		t.Errorf("worker run spans = %d, want >= 4 (one per unit, plus retries)", runs)
+	}
 }
 
 func waitSmoke(t *testing.T, what string, cond func() bool) {

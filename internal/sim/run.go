@@ -3,11 +3,13 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"equinox/internal/geom"
 	"equinox/internal/gpu"
 	"equinox/internal/noc"
 	"equinox/internal/obs"
+	"equinox/internal/obs/trace"
 	"equinox/internal/par"
 	"equinox/internal/power"
 	"equinox/internal/workloads"
@@ -482,9 +484,15 @@ func (s *System) RunToCompletion() (Result, error) {
 
 // RunToCompletionContext drives Step until the system finishes, hits
 // MaxCycles, or ctx is cancelled. The whole run is reported as one "sim"
-// phase span into the context's obs.Recorder (if any).
+// phase span into the context's obs.Recorder (if any) and, when the context
+// carries a distributed-trace span, as a "sim" child span segmented into
+// warmup (to first delivery), measure (to PE retirement), and drain.
 func (s *System) RunToCompletionContext(ctx context.Context) (Result, error) {
 	defer obs.Span(ctx, "sim").End()
+	sp := trace.StartChild(ctx, "sim")
+	start := time.Now()
+	var warmupEnd, measureEnd time.Time
+	defer func() { s.finishSimSpan(sp, start, warmupEnd, measureEnd) }()
 	for !s.Finished() {
 		if s.now >= s.cfg.MaxCycles {
 			res := s.collect()
@@ -502,10 +510,79 @@ func (s *System) RunToCompletionContext(ctx context.Context) (Result, error) {
 					return s.collect(), err
 				}
 			}
+			// Segment boundaries are detected at this cadence, not per
+			// cycle, so tracing costs the hot loop nothing.
+			if sp != nil {
+				if warmupEnd.IsZero() && s.deliveredTotal() > 0 {
+					warmupEnd = time.Now()
+				} else if !warmupEnd.IsZero() && measureEnd.IsZero() && s.pesFinished() {
+					measureEnd = time.Now()
+				}
+			}
 		}
 		s.Step()
 	}
 	return s.collect(), nil
+}
+
+// pesFinished reports whether every PE retired its instruction budget
+// (banks and networks may still be draining).
+func (s *System) pesFinished() bool {
+	for _, pe := range s.peList {
+		if !pe.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// deliveredTotal sums delivered packets across every network and class.
+func (s *System) deliveredTotal() int64 {
+	var t int64
+	for _, n := range s.Networks() {
+		for _, d := range n.Stats.Delivered {
+			t += d
+		}
+	}
+	return t
+}
+
+// finishSimSpan closes the "sim" distributed-trace span, synthesizing
+// warmup/measure/drain child segments from the boundaries the cycle loop
+// observed. A boundary the loop never crossed collapses its segment to the
+// run's end (zero duration) rather than being dropped, so the three-segment
+// shape is stable across schemes and benchmarks.
+func (s *System) finishSimSpan(sp *trace.Span, start, warmupEnd, measureEnd time.Time) {
+	if sp == nil {
+		return
+	}
+	end := time.Now()
+	if warmupEnd.IsZero() || warmupEnd.After(end) {
+		warmupEnd = end
+	}
+	if measureEnd.IsZero() || measureEnd.After(end) {
+		measureEnd = end
+	}
+	if measureEnd.Before(warmupEnd) {
+		measureEnd = warmupEnd
+	}
+	tr := sp.Trace()
+	tr.Observe(sp.ID(), "warmup", start, warmupEnd.Sub(start))
+	tr.Observe(sp.ID(), "measure", warmupEnd, measureEnd.Sub(warmupEnd))
+	tr.Observe(sp.ID(), "drain", measureEnd, end.Sub(measureEnd))
+	sp.SetAttr("scheme", s.cfg.Scheme.String())
+	sp.SetAttr("benchmark", s.prof.Name)
+	sp.SetAttrInt("cycles", s.now)
+	if s.nets.base.Shards() > 1 {
+		for ph := 0; ph < noc.NumPhases; ph++ {
+			var w int64
+			for _, n := range s.Networks() {
+				w += n.BarrierWaitNS(ph)
+			}
+			sp.SetAttrInt("barrierWaitNs/"+noc.PhaseName(ph), w)
+		}
+	}
+	sp.End()
 }
 
 // collect aggregates statistics into a Result.

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-parallel bench bench-all eval serve fleet-smoke heatmap design cover clean
+.PHONY: all build vet test race race-parallel bench bench-all eval serve fleet-smoke chaos-smoke heatmap design cover clean
 
 all: build vet test
 
@@ -52,6 +52,17 @@ serve:
 # as an artifact on failure).
 fleet-smoke:
 	FLEET_SMOKE=1 $(GO) test -count=1 -run TestFleetSmoke -v ./internal/service
+
+# Chaos harness: seeded fault injection (store errors, torn writes,
+# dropped/duplicated/5xx network traffic, worker kills, coordinator
+# kill-and-restart) with every scenario asserting the result bytes stay
+# identical to a fault-free run. CHAOS_SMOKE=1 widens the seed set;
+# CHAOS_ARTIFACT_DIR collects per-scenario fault/event/journal records
+# (CI uploads them on failure).
+chaos-smoke:
+	CHAOS_SMOKE=1 $(GO) test -count=1 -v \
+		-run 'TestChaosConvergence|TestServerRecoversJournaledJobs|TestAdmissionShedsBatchBeforeInteractive' \
+		./internal/service
 
 # Figure 4 heat maps and the placement scoring table.
 heatmap:

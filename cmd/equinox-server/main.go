@@ -17,7 +17,10 @@
 //	curl -s localhost:8080/v1/metrics
 //
 // With -store-dir, completed results persist on disk and survive restarts;
-// coordinators sharing a directory share results.
+// coordinators sharing a directory share results. With -journal-dir,
+// accepted jobs survive a crash too: the next boot replays the journal,
+// re-queues every unfinished job, and converges to the identical result
+// bytes (kill -9 mid-sweep loses nothing but time).
 //
 // Runtime profiling is exposed under /debug/pprof/ (CPU, heap, goroutine,
 // …), so a loaded server can be profiled in place:
@@ -60,10 +63,14 @@ func main() {
 		cacheBy = flag.Int64("cache-bytes", 0, "in-memory result cache byte bound (0 = entries only)")
 		stDir   = flag.String("store-dir", "", "persistent result store directory (empty = memory only)")
 		queue   = flag.Int("queue", 0, "submission queue depth (0 = default)")
+		shed    = flag.Float64("shed-fraction", 0, "queue fill fraction past which batch submissions are shed with 429 (0 = default 0.75)")
+		jrnDir  = flag.String("journal-dir", "", "crash-safe job journal directory; on restart, unfinished jobs are re-queued (empty = no journal)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 
 		leaseTTL = flag.Duration("lease-ttl", 0, "fleet work-unit lease TTL (0 = default 15s)")
 		attempts = flag.Int("unit-attempts", 0, "fleet per-unit attempt budget (0 = default 3)")
+		brkN     = flag.Int("breaker-threshold", 0, "consecutive worker failures that open its circuit (0 = default 3, negative = disabled)")
+		brkCool  = flag.Duration("breaker-cooldown", 0, "open-circuit quarantine before a half-open probe (0 = default 30s)")
 
 		traceTail   = flag.Duration("trace-tail", 0, "tail-sampling threshold: keep span traces only for jobs at least this slow (0 = keep all)")
 		traceSample = flag.Int("trace-sample", 0, "with -trace-tail, also keep 1-in-N span traces of fast jobs (0 = none)")
@@ -90,6 +97,17 @@ func main() {
 			*stDir, disk.Len(), disk.SizeBytes())
 	}
 
+	var journal *service.Journal
+	if *jrnDir != "" {
+		journal, err = service.OpenJournal(*jrnDir, logger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+		log.Printf("job journal at %s (%d unfinished jobs to recover)",
+			*jrnDir, len(journal.Pending()))
+	}
+
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		JobParallelism: *jobPar,
@@ -97,12 +115,16 @@ func main() {
 		CacheEntries:   *cache,
 		CacheBytes:     *cacheBy,
 		QueueDepth:     *queue,
+		ShedFraction:   *shed,
+		Journal:        journal,
 		Store:          persist,
 		TraceTail:      *traceTail,
 		TraceSample:    *traceSample,
 		Fleet: fleet.Config{
-			LeaseTTL:    *leaseTTL,
-			MaxAttempts: *attempts,
+			LeaseTTL:         *leaseTTL,
+			MaxAttempts:      *attempts,
+			BreakerThreshold: *brkN,
+			BreakerCooldown:  *brkCool,
 		},
 		Logger: logger,
 	})

@@ -11,7 +11,9 @@
 // Workers hold no state: results live in the coordinator's store. A
 // killed worker loses nothing — its leased units are re-leased to the
 // rest of the fleet after the lease TTL. SIGINT/SIGTERM stop the worker;
-// in-flight units are abandoned and re-leased the same way.
+// in-flight units are abandoned and re-leased the same way. A worker
+// started before its coordinator waits for it with capped backoff and
+// exits nonzero only once -connect-timeout elapses.
 //
 // With -pprof-addr the worker serves /debug/pprof/ on a separate listener:
 //
@@ -54,6 +56,7 @@ func main() {
 		simPar      = flag.Int("parallel", 0, "per-simulation shard parallelism for units that don't set \"parallel\" themselves (0 = serial stepper; results are bit-identical either way)")
 		poll        = flag.Duration("poll", 500*time.Millisecond, "lease poll interval while idle")
 		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "lease renewal interval (keep well under the coordinator's lease TTL)")
+		connectTO   = flag.Duration("connect-timeout", 2*time.Minute, "budget for the initial coordinator connection; retried with capped backoff, exit nonzero once it elapses")
 		pprofAddr   = flag.String("pprof-addr", "", "listen address for /debug/pprof (empty = disabled)")
 
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
@@ -116,6 +119,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	// A worker booted alongside (or before) its coordinator waits for it
+	// rather than crash-looping; only an exhausted budget is fatal.
+	if err := w.WaitReady(ctx, *connectTO); err != nil {
+		if errors.Is(err, context.Canceled) {
+			return
+		}
+		log.Fatal(err)
+	}
 	log.Printf("worker %s pulling from %s (parallelism %d, unit parallelism %d)",
 		*name, *coordinator, *parallel, runPar)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {

@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a skewable wall clock. Its Now method plugs into seams that
+// accept a `func() time.Time` (the fleet coordinator's Config.Now), so a
+// test can jump a node's view of time — expiring every lease at once,
+// or racing backoff deadlines — without sleeping through it.
+type Clock struct {
+	in   *Injector
+	skew atomic.Int64 // nanoseconds added to real time
+}
+
+// Clock returns a skewable clock bound to the injector (skews count as
+// "clock-skew" faults).
+func (in *Injector) Clock() *Clock {
+	return &Clock{in: in}
+}
+
+// Now returns the skewed current time.
+func (c *Clock) Now() time.Time {
+	return time.Now().Add(time.Duration(c.skew.Load()))
+}
+
+// Skew shifts the clock by d (cumulative; negative rewinds).
+func (c *Clock) Skew(d time.Duration) {
+	c.skew.Add(int64(d))
+	if c.in != nil {
+		c.in.Fault("clock-skew")
+	}
+}
+
+// Offset returns the current cumulative skew.
+func (c *Clock) Offset() time.Duration {
+	return time.Duration(c.skew.Load())
+}

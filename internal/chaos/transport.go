@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrInjectedDrop is the transport error returned for dropped requests,
+// indistinguishable from a dial failure to the caller's retry logic.
+var ErrInjectedDrop = errors.New("chaos: injected network drop")
+
+// NetFaults configures the transport wrapper's fault mix. All
+// probabilities are per-request in [0, 1].
+type NetFaults struct {
+	// Drop fails the request before it is sent — the client sees a
+	// network error and cannot know whether the server got it.
+	Drop float64
+	// Delay stalls the request by DelayBy before sending.
+	Delay float64
+	// DelayBy is the injected latency for delayed requests (default 20ms).
+	DelayBy time.Duration
+	// Dup sends the request twice (when its body is replayable) and
+	// returns the second response — an at-least-once retry storm. Both
+	// copies reach the server.
+	Dup float64
+	// Err5xx performs the request, discards the real response, and
+	// returns a synthetic 503 — a load-balancer blip: the server-side
+	// effect happened but the client sees failure.
+	Err5xx float64
+}
+
+// faultTransport injects NetFaults in front of an inner RoundTripper.
+type faultTransport struct {
+	in    *Injector
+	inner http.RoundTripper
+	f     NetFaults
+}
+
+// WrapTransport returns an http.RoundTripper injecting f's faults in
+// front of inner (nil uses http.DefaultTransport). Hand it to a worker
+// via WorkerConfig.Client to fault its protocol traffic.
+func (in *Injector) WrapTransport(inner http.RoundTripper, f NetFaults) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if f.DelayBy <= 0 {
+		f.DelayBy = 20 * time.Millisecond
+	}
+	return &faultTransport{in: in, inner: inner, f: f}
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.in.roll(t.f.Drop) {
+		t.in.Fault("net-drop")
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrInjectedDrop
+	}
+	if t.in.roll(t.f.Delay) {
+		t.in.Fault("net-delay")
+		timer := time.NewTimer(t.f.DelayBy)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	dup := t.f.Dup > 0 && req.GetBody != nil && t.in.roll(t.f.Dup)
+
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if dup {
+		t.in.Fault("net-dup")
+		if body, berr := req.GetBody(); berr == nil {
+			second := req.Clone(req.Context())
+			second.Body = body
+			if resp2, err2 := t.inner.RoundTrip(second); err2 == nil {
+				// Both copies landed; surface the retry's response.
+				drain(resp)
+				resp = resp2
+			}
+		}
+	}
+	if t.in.roll(t.f.Err5xx) {
+		t.in.Fault("net-5xx")
+		drain(resp)
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(strings.NewReader("chaos: injected 503\n")),
+			Request:    req,
+		}, nil
+	}
+	return resp, nil
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+	resp.Body.Close()
+}

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"equinox/internal/obs"
+)
+
+// TestJitterDeterministicPerName pins the seeded-jitter contract: one
+// worker name always draws one schedule (reproducible tests), distinct
+// names draw distinct schedules (no fleet-wide lockstep), and every
+// draw stays inside its documented bounds.
+func TestJitterDeterministicPerName(t *testing.T) {
+	a1, a2, b := newJitter("worker-a"), newJitter("worker-a"), newJitter("worker-b")
+	interval := 500 * time.Millisecond
+	same := true
+	for i := 0; i < 64; i++ {
+		pa, pb := a1.poll(interval), b.poll(interval)
+		if pa != a2.poll(interval) {
+			t.Fatalf("same name diverged at poll %d", i)
+		}
+		if pa != pb {
+			same = false
+		}
+		if pa < interval/2 || pa >= interval/2*3 {
+			t.Fatalf("poll %v outside [d/2, 3d/2)", pa)
+		}
+		ba := a1.backoff(200*time.Millisecond, 5*time.Second, i%6)
+		if ba != a2.backoff(200*time.Millisecond, 5*time.Second, i%6) {
+			t.Fatalf("same name diverged at backoff %d", i)
+		}
+		if ba <= 0 || ba > 5*time.Second {
+			t.Fatalf("backoff %v outside (0, cap]", ba)
+		}
+	}
+	if same {
+		t.Fatal("worker-a and worker-b drew identical schedules")
+	}
+}
+
+// TestCoordinatorBreakerQuarantinesAndProbes walks a worker's circuit
+// through its whole lifecycle: consecutive failures open it (no more
+// leases), the cooldown half-opens it (exactly one probe lease), and a
+// successful probe closes it. The clock is injected so the cooldown
+// elapses without sleeping.
+func TestCoordinatorBreakerQuarantinesAndProbes(t *testing.T) {
+	var skewNS atomic.Int64
+	now := func() time.Time { return time.Now().Add(time.Duration(skewNS.Load())) }
+	reg := obs.NewRegistry()
+	c := fastCoordinator(t, Config{
+		MaxAttempts:      10, // survive every injected failure
+		RetryBackoff:     time.Millisecond,
+		SweepInterval:    5 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+		Now:              now,
+		Metrics:          NewMetrics(reg),
+	})
+	cl := newCollector()
+	if err := c.SubmitJob("jobB", Interactive, testUnits("jobB", 2), cl.callbacks()); err != nil {
+		t.Fatal(err)
+	}
+
+	// leaseAs polls until the worker is granted a unit.
+	leaseAs := func(worker string) LeaseResponse {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if g, ok := c.Lease(worker); ok {
+				return g
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("%s never got a lease", worker)
+		return LeaseResponse{}
+	}
+
+	// Two consecutive failures open flaky's circuit.
+	for i := 0; i < 2; i++ {
+		g := leaseAs("flaky")
+		if err := c.Complete(g.LeaseID, nil, "injected failure", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.WorkerCircuitState("flaky"); st != int(breakerOpen) {
+		t.Fatalf("circuit state after 2 failures = %d, want open (2)", st)
+	}
+
+	// Quarantined: pending work exists, but flaky gets none of it.
+	waitUnits := func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for c.UnitsPending() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("units never requeued")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitUnits()
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Lease("flaky"); ok {
+			t.Fatal("open circuit still granted a lease")
+		}
+	}
+	// A healthy worker drains one unit meanwhile.
+	g := leaseAs("healthy")
+	if err := c.Complete(g.LeaseID, unitDocJSON(g.Unit.Scheme, g.Unit.Benchmark), "", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The gauge exports the open state.
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `equinox_worker_circuit_state{worker="flaky"} 2`) {
+		t.Fatalf("exposition missing open circuit gauge:\n%s", buf.String())
+	}
+
+	// Cooldown elapses (clock skew, no sleeping): exactly one probe.
+	skewNS.Add(int64(2 * time.Hour))
+	waitUnits()
+	probe := leaseAs("flaky")
+	if st := c.WorkerCircuitState("flaky"); st != int(breakerHalfOpen) {
+		t.Fatalf("circuit state during probe = %d, want half-open (1)", st)
+	}
+	if _, ok := c.Lease("flaky"); ok {
+		t.Fatal("half-open circuit granted a second concurrent lease")
+	}
+	// Probe succeeds: circuit closes.
+	if err := c.Complete(probe.LeaseID, unitDocJSON(probe.Unit.Scheme, probe.Unit.Benchmark), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.WorkerCircuitState("flaky"); st != int(breakerClosed) {
+		t.Fatalf("circuit state after successful probe = %d, want closed (0)", st)
+	}
+	if _, err := cl.wait(t); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.eventCount("unit", "leased"); got < 4 {
+		t.Errorf("leased events = %d, want >= 4 (2 failures + healthy + probe)", got)
+	}
+}
+
+// TestCoordinatorBreakerReopensOnFailedProbe pins the half-open →
+// failed-probe → open transition.
+func TestCoordinatorBreakerReopensOnFailedProbe(t *testing.T) {
+	var skewNS atomic.Int64
+	now := func() time.Time { return time.Now().Add(time.Duration(skewNS.Load())) }
+	c := fastCoordinator(t, Config{
+		MaxAttempts:      20,
+		RetryBackoff:     time.Millisecond,
+		SweepInterval:    5 * time.Millisecond,
+		BreakerThreshold: 1, // first failure opens
+		BreakerCooldown:  time.Hour,
+		Now:              now,
+	})
+	cl := newCollector()
+	if err := c.SubmitJob("jobR", Interactive, testUnits("jobR", 1), cl.callbacks()); err != nil {
+		t.Fatal(err)
+	}
+	lease := func() LeaseResponse {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if g, ok := c.Lease("flaky"); ok {
+				return g
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatal("no lease")
+		return LeaseResponse{}
+	}
+	g := lease()
+	if err := c.Complete(g.LeaseID, nil, "boom", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.WorkerCircuitState("flaky"); st != int(breakerOpen) {
+		t.Fatalf("state = %d, want open", st)
+	}
+	skewNS.Add(int64(2 * time.Hour))
+	g = lease() // half-open probe
+	if err := c.Complete(g.LeaseID, nil, "boom again", nil); err != nil {
+		t.Fatal(err)
+	}
+	// A failed probe reopens immediately regardless of the threshold.
+	if st := c.WorkerCircuitState("flaky"); st != int(breakerOpen) {
+		t.Fatalf("state after failed probe = %d, want open", st)
+	}
+}

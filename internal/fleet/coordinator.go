@@ -34,6 +34,17 @@ type Config struct {
 	SweepInterval time.Duration
 	// QueueDepth bounds the unit queue (default 4096).
 	QueueDepth int
+	// BreakerThreshold is the number of consecutive failures (reported
+	// errors or expired leases) that open a worker's circuit breaker,
+	// quarantining it from further leases (default 3; negative disables).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit quarantines its worker
+	// before a single half-open probe lease is allowed (default 30s).
+	BreakerCooldown time.Duration
+	// Now supplies the coordinator's clock (default time.Now). Tests and
+	// the chaos injector substitute a skewable clock to drive lease
+	// expiry and backoff deterministically.
+	Now func() time.Time
 	// Store, when non-nil, enables unit-level result reuse: units whose
 	// content key is already stored complete without running, and every
 	// completed unit is written back.
@@ -72,6 +83,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4096
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	if c.Logger == nil {
 		c.Logger = obs.NopLogger()
@@ -132,6 +152,37 @@ type trackedJob struct {
 	cbMu sync.Mutex
 }
 
+// Circuit-breaker states, exported to the
+// equinox_worker_circuit_state{worker} gauge by numeric value.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = 0 // healthy: leases flow
+	breakerHalfOpen breakerState = 1 // cooldown elapsed: one probe lease allowed
+	breakerOpen     breakerState = 2 // quarantined: no leases until cooldown
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker tracks one worker's consecutive-failure circuit. Failures are
+// worker-reported unit errors and expired leases; any successful
+// completion closes the circuit.
+type breaker struct {
+	state     breakerState
+	consec    int       // consecutive failures while closed
+	openUntil time.Time // when an open circuit may half-open
+	probing   bool      // a half-open probe lease is outstanding
+}
+
 // lease is one granted unit.
 type lease struct {
 	id       string
@@ -145,8 +196,8 @@ type lease struct {
 // are invoked without coordinator locks held and may call back into the
 // coordinator.
 type JobCallbacks struct {
-	// OnEvent delivers unit-level progress (completed/failed/retrying,
-	// cache hits).
+	// OnEvent delivers unit-level progress (leased/completed/failed/
+	// retrying, cache hits).
 	OnEvent func(Event)
 	// OnDone delivers the assembled canonical evaluation document, or an
 	// assembly error. It is not invoked for cancelled jobs.
@@ -175,6 +226,7 @@ type Coordinator struct {
 	waiting      map[*trackedUnit]struct{}
 	workers      map[string]time.Time // last contact
 	workerLeases map[string]int
+	breakers     map[string]*breaker // per-worker failure circuits
 	leaseSeq     int64
 
 	stop chan struct{}
@@ -195,6 +247,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		waiting:      map[*trackedUnit]struct{}{},
 		workers:      map[string]time.Time{},
 		workerLeases: map[string]int{},
+		breakers:     map[string]*breaker{},
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}
@@ -222,8 +275,8 @@ func (c *Coordinator) sweepLoop() {
 		select {
 		case <-c.stop:
 			return
-		case now := <-tick.C:
-			c.sweep(now)
+		case <-tick.C:
+			c.sweep(c.cfg.Now())
 		}
 	}
 }
@@ -357,15 +410,21 @@ func (c *Coordinator) CancelJob(id string) {
 }
 
 // Lease grants one queued unit to a worker, registering the worker as
-// active. ok is false when no unit is available.
+// active. ok is false when no unit is available or the worker's circuit
+// breaker is open (a quarantined worker polls without receiving work
+// until its cooldown admits a half-open probe).
 func (c *Coordinator) Lease(worker string) (LeaseResponse, bool) {
-	now := time.Now()
+	now := c.cfg.Now()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.touchWorkerLocked(worker, now)
+	if !c.breakerAllowLocked(worker, now) {
+		c.mu.Unlock()
+		return LeaseResponse{}, false
+	}
 	for {
 		u, ok := c.queue.TryPop()
 		if !ok {
+			c.mu.Unlock()
 			return LeaseResponse{}, false
 		}
 		if u.state != unitPending || u.job.canceled {
@@ -384,6 +443,10 @@ func (c *Coordinator) Lease(worker string) (LeaseResponse, bool) {
 		c.leases[l.id] = l
 		c.workerLeases[worker]++
 		c.met.WorkerBusy.With(worker).Set(1)
+		if b := c.breakers[worker]; b != nil && b.state == breakerHalfOpen {
+			b.probing = true
+			c.log.Info("worker circuit probing", "worker", worker, "leaseId", l.id)
+		}
 		u.wait.SetAttr("worker", worker)
 		u.wait.End()
 		u.wait = nil
@@ -399,6 +462,17 @@ func (c *Coordinator) Lease(worker string) (LeaseResponse, bool) {
 		// The traceparent rides the grant, not the spec: a tracing worker
 		// joins the unit span so its spans stitch under the job's trace.
 		resp.Unit.TraceParent = u.span.TraceParent()
+		j := u.job
+		d := delivery{job: j, events: []Event{{
+			Type: "unit", Status: "leased",
+			Scheme: u.Scheme, Benchmark: u.Benchmark, UnitKey: u.Key,
+			Done: len(j.units) - j.rem, Total: len(j.units),
+		}}}
+		c.mu.Unlock()
+		// The grant event feeds SSE progress and the job journal's
+		// unit-grant records; delivered outside the lock like all
+		// callbacks.
+		c.deliver([]delivery{d})
 		return resp, true
 	}
 }
@@ -408,7 +482,7 @@ func (c *Coordinator) Lease(worker string) (LeaseResponse, bool) {
 // worker discards the unit. spans, when present, are the worker's
 // finished spans for the unit, stitched into the job's trace.
 func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string, spans []trace.SpanRecord) error {
-	now := time.Now()
+	now := c.cfg.Now()
 	c.mu.Lock()
 	l, ok := c.leases[leaseID]
 	if !ok {
@@ -428,8 +502,10 @@ func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string, spa
 	var d delivery
 	var storePut bool
 	if errMsg != "" {
+		c.breakerFailureLocked(l.worker, now, errMsg)
 		d = c.retryUnitLocked(u, now, errMsg)
 	} else {
+		c.breakerSuccessLocked(l.worker)
 		u.state = unitDone
 		u.result = result
 		u.lease = nil
@@ -465,7 +541,7 @@ func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string, spa
 // Heartbeat marks the worker alive, renews the listed leases, and
 // returns the ones the worker should abandon.
 func (c *Coordinator) Heartbeat(worker string, leaseIDs []string) (canceled []string) {
-	now := time.Now()
+	now := c.cfg.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touchWorkerLocked(worker, now)
@@ -577,6 +653,7 @@ func (c *Coordinator) sweep(now time.Time) {
 		c.log.Warn("lease expired",
 			"jobId", l.unit.JobID, "unitKey", l.unit.Key,
 			"leaseId", id, "worker", l.worker)
+		c.breakerFailureLocked(l.worker, now, "lease expired")
 		deliveries = append(deliveries, c.retryUnitLocked(l.unit, now, "lease expired (worker lost)"))
 	}
 	for u := range c.waiting {
@@ -617,6 +694,84 @@ func (c *Coordinator) dropLeaseLocked(l *lease) {
 	}
 }
 
+// breakerAllowLocked decides whether a worker may receive a lease:
+// closed circuits always may, open ones may not until their cooldown
+// elapses (which half-opens them), and half-open ones admit exactly one
+// probe lease at a time.
+func (c *Coordinator) breakerAllowLocked(worker string, now time.Time) bool {
+	b := c.breakers[worker]
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case breakerOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
+		c.met.WorkerCircuit.With(worker).Set(float64(breakerHalfOpen))
+		c.log.Info("worker circuit half-open", "worker", worker)
+		return true
+	case breakerHalfOpen:
+		return !b.probing
+	default:
+		return true
+	}
+}
+
+// breakerFailureLocked attributes one failure (reported error or
+// expired lease) to a worker, opening its circuit after
+// BreakerThreshold consecutive failures — or immediately when a
+// half-open probe fails.
+func (c *Coordinator) breakerFailureLocked(worker string, now time.Time, reason string) {
+	if c.cfg.BreakerThreshold < 0 {
+		return
+	}
+	b := c.breakers[worker]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[worker] = b
+	}
+	b.consec++
+	if b.state == breakerHalfOpen || b.consec >= c.cfg.BreakerThreshold {
+		b.state = breakerOpen
+		b.openUntil = now.Add(c.cfg.BreakerCooldown)
+		b.probing = false
+		c.met.WorkerCircuit.With(worker).Set(float64(breakerOpen))
+		c.log.Warn("worker circuit opened",
+			"worker", worker, "consecutiveFailures", b.consec,
+			"cooldownMs", c.cfg.BreakerCooldown.Milliseconds(), "error", reason)
+	}
+}
+
+// breakerSuccessLocked records a successful completion, closing the
+// worker's circuit from any state.
+func (c *Coordinator) breakerSuccessLocked(worker string) {
+	b := c.breakers[worker]
+	if b == nil {
+		return
+	}
+	if b.state != breakerClosed {
+		c.log.Info("worker circuit closed", "worker", worker)
+	}
+	b.state = breakerClosed
+	b.consec = 0
+	b.probing = false
+	c.met.WorkerCircuit.With(worker).Set(float64(breakerClosed))
+}
+
+// WorkerCircuitState reports a worker's breaker state (0 closed,
+// 1 half-open, 2 open) for tests and introspection.
+func (c *Coordinator) WorkerCircuitState(worker string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b := c.breakers[worker]; b != nil {
+		return int(b.state)
+	}
+	return int(breakerClosed)
+}
+
 func (c *Coordinator) touchWorkerLocked(worker string, now time.Time) {
 	if _, known := c.workers[worker]; !known {
 		c.log.Info("worker registered", "worker", worker)
@@ -625,17 +780,23 @@ func (c *Coordinator) touchWorkerLocked(worker string, now time.Time) {
 	c.met.WorkerLastSeen.With(worker).Set(float64(now.Unix()))
 }
 
-// ActiveWorkers counts workers seen within WorkerTTL. The job server
-// shards submissions only while this is non-zero.
+// ActiveWorkers counts workers seen within WorkerTTL whose circuit is
+// not open. The job server shards submissions only while this is
+// non-zero, so a fleet of quarantined workers degrades it gracefully
+// back to local execution.
 func (c *Coordinator) ActiveWorkers() int {
-	now := time.Now()
+	now := c.cfg.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
-	for _, seen := range c.workers {
-		if now.Sub(seen) <= c.cfg.WorkerTTL {
-			n++
+	for w, seen := range c.workers {
+		if now.Sub(seen) > c.cfg.WorkerTTL {
+			continue
 		}
+		if b := c.breakers[w]; b != nil && b.state == breakerOpen && now.Before(b.openUntil) {
+			continue
+		}
+		n++
 	}
 	return n
 }
@@ -669,7 +830,7 @@ func (c *Coordinator) QueueDepth() (interactive, batch int) {
 // OldestLeaseAgeSeconds returns the age of the oldest outstanding lease,
 // 0 with none outstanding — a stuck-fleet indicator for dashboards.
 func (c *Coordinator) OldestLeaseAgeSeconds() float64 {
-	now := time.Now()
+	now := c.cfg.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var oldest float64

@@ -74,7 +74,8 @@ type Event struct {
 	// Type is "unit" for unit lifecycle events or "cache" for unit-level
 	// store hits.
 	Type string `json:"type"`
-	// Status qualifies unit events: completed, failed, or retrying.
+	// Status qualifies unit events: leased, completed, failed, or
+	// retrying.
 	Status    string `json:"status,omitempty"`
 	Scheme    string `json:"scheme,omitempty"`
 	Benchmark string `json:"benchmark,omitempty"`

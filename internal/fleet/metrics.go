@@ -25,6 +25,9 @@ type Metrics struct {
 	WorkerLastSeen *obs.GaugeVec
 	// WorkerBusy is 1 while a worker holds at least one lease.
 	WorkerBusy *obs.GaugeVec
+	// WorkerCircuit is each worker's circuit-breaker state: 0 closed,
+	// 1 half-open, 2 open (quarantined after consecutive failures).
+	WorkerCircuit *obs.GaugeVec
 }
 
 // NewMetrics registers the fleet metric families on reg.
@@ -49,5 +52,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Unix time of each worker's last lease or heartbeat.", "worker"),
 		WorkerBusy: reg.GaugeVec("equinox_fleet_worker_busy",
 			"1 while the worker holds at least one lease, else 0.", "worker"),
+		WorkerCircuit: reg.GaugeVec("equinox_worker_circuit_state",
+			"Worker circuit-breaker state: 0 closed, 1 half-open, 2 open.", "worker"),
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -58,9 +60,52 @@ type Worker struct {
 	cfg WorkerConfig
 	log *slog.Logger
 	hc  *http.Client
+	jit *jitter
 
 	mu     sync.Mutex
 	leases map[string]*workerLease
+}
+
+// jitter is the worker's seeded backoff randomizer. Seeding it from the
+// worker's name keeps tests reproducible while still de-synchronizing a
+// fleet: a restarted fleet's workers poll and retry on distinct
+// schedules instead of thundering in lockstep.
+type jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitter(name string) *jitter {
+	h := fnv.New64a()
+	h.Write([]byte(name)) //nolint:errcheck
+	return &jitter{rng: rand.New(rand.NewSource(int64(h.Sum64())))}
+}
+
+// poll spreads a poll interval uniformly over [d/2, 3d/2).
+func (j *jitter) poll(d time.Duration) time.Duration {
+	j.mu.Lock()
+	f := j.rng.Float64()
+	j.mu.Unlock()
+	return d/2 + time.Duration(f*float64(d))
+}
+
+// backoff draws a full-jitter retry delay: uniform in (0, min(cap,
+// base<<attempt)]. Full jitter decorrelates retries across the fleet —
+// doubling a shared base would have every worker retry at the same
+// instants.
+func (j *jitter) backoff(base, ceil time.Duration, attempt int) time.Duration {
+	max := base << attempt
+	if max > ceil || max <= 0 {
+		max = ceil
+	}
+	j.mu.Lock()
+	f := j.rng.Float64()
+	j.mu.Unlock()
+	d := time.Duration(f * float64(max))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }
 
 type workerLease struct {
@@ -99,8 +144,49 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		cfg:    cfg,
 		log:    cfg.Logger,
 		hc:     hc,
+		jit:    newJitter(cfg.Name),
 		leases: map[string]*workerLease{},
 	}, nil
+}
+
+// WaitReady blocks until the coordinator answers an HTTP request,
+// retrying connection failures with capped full-jitter backoff. Any
+// HTTP response — even an error status — counts as ready: the transport
+// is up and the protocol loops own per-request retries from there. It
+// returns the last connection error once budget elapses, or ctx.Err()
+// if the context ends first.
+func (w *Worker) WaitReady(ctx context.Context, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			w.cfg.Coordinator+"/v1/healthz", nil)
+		if err != nil {
+			return fmt.Errorf("fleet: bad coordinator URL %q: %w", w.cfg.Coordinator, err)
+		}
+		resp, err := w.hc.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+			resp.Body.Close()
+			if attempt > 0 {
+				w.log.Info("coordinator reachable", "coordinator", w.cfg.Coordinator, "attempts", attempt+1)
+			}
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: coordinator %s unreachable after %v: %w",
+				w.cfg.Coordinator, budget, lastErr)
+		}
+		wait := w.jit.backoff(200*time.Millisecond, 3*time.Second, attempt)
+		w.log.Warn("coordinator unreachable; retrying",
+			"coordinator", w.cfg.Coordinator, "attempt", attempt+1,
+			"retryInMs", wait.Milliseconds(), "error", err)
+		sleepCtx(ctx, wait)
+	}
 }
 
 // Run polls for units and executes them until ctx is cancelled. It always
@@ -135,11 +221,11 @@ func (w *Worker) unitLoop(ctx context.Context, slot int) {
 				return
 			}
 			w.log.Warn("lease request failed", "slot", slot, "error", err)
-			sleepCtx(ctx, w.cfg.PollInterval)
+			sleepCtx(ctx, w.jit.poll(w.cfg.PollInterval))
 			continue
 		}
 		if !ok {
-			sleepCtx(ctx, w.cfg.PollInterval)
+			sleepCtx(ctx, w.jit.poll(w.cfg.PollInterval))
 			continue
 		}
 		w.execute(ctx, grant)
@@ -262,16 +348,15 @@ func (w *Worker) lease(ctx context.Context) (LeaseResponse, bool, error) {
 	return resp, true, nil
 }
 
-// complete posts a unit outcome with bounded retries, so a transient
-// network blip does not cost a finished simulation. A 410 (lease already
-// gone) is success: the coordinator no longer wants the result.
+// complete posts a unit outcome with bounded full-jitter retries, so a
+// transient network blip does not cost a finished simulation. A 410
+// (lease already gone) is success: the coordinator no longer wants the
+// result.
 func (w *Worker) complete(ctx context.Context, req CompleteRequest) error {
-	backoff := 200 * time.Millisecond
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
 		if attempt > 0 {
-			sleepCtx(ctx, backoff)
-			backoff *= 2
+			sleepCtx(ctx, w.jit.backoff(200*time.Millisecond, 5*time.Second, attempt-1))
 		}
 		status, err := w.postStatus(ctx, "/v1/fleet/complete", req, nil)
 		if err == nil || status == http.StatusGone {

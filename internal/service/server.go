@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"equinox"
+	"equinox/internal/chaos"
 	"equinox/internal/fleet"
 	"equinox/internal/fleet/store"
 	"equinox/internal/obs"
@@ -42,8 +43,22 @@ type Config struct {
 	// approximate payload bytes (0 = entry bound only).
 	CacheBytes int64
 	// QueueDepth bounds the submission queue; submissions beyond it are
-	// rejected with 503 (default 256).
+	// rejected with 429 and a Retry-After hint (default 256).
 	QueueDepth int
+	// ShedFraction is the queue fill fraction past which batch submissions
+	// are shed with 429 while interactive ones are still admitted, so
+	// load-shedding degrades bulk sweeps before humans (default 0.75).
+	ShedFraction float64
+	// Journal, when set, records every submission and terminal state in a
+	// crash-safe log; on construction the server replays it and re-queues
+	// jobs a previous process accepted but never finished. Open one with
+	// OpenJournal. The server does not close it.
+	Journal *Journal
+	// Chaos, when set, is the fault injector whose faults this server
+	// should count (exported as equinox_chaos_injected_total). The server
+	// installs the injector's hook; it does not inject faults itself —
+	// wiring wrapped stores or transports is the caller's business.
+	Chaos *chaos.Injector
 	// Store is an optional persistent result tier (typically
 	// store.OpenDisk). Completed results — whole sweeps and fleet work
 	// units — are written through to it and served from it after
@@ -166,6 +181,11 @@ func New(cfg Config) *Server {
 		"Age of the oldest outstanding lease (stuck-fleet indicator).",
 		func() float64 { return s.coord.OldestLeaseAgeSeconds() })
 
+	if cfg.Chaos != nil {
+		inj := s.met.chaosInjected
+		cfg.Chaos.SetHook(func(kind string) { inj.With(kind).Inc() })
+	}
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -178,6 +198,9 @@ func New(cfg Config) *Server {
 				s.run(j)
 			}
 		}()
+	}
+	if cfg.Journal != nil {
+		s.recoverJournal()
 	}
 	return s
 }
@@ -315,6 +338,9 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 		}
 		s.mu.Unlock()
 		if byShutdown {
+			// Deliberately NOT journaled as terminal: a shutdown-cancelled
+			// job stays pending in the journal so the next process recovers
+			// it. A client DELETE was journaled by handleCancel already.
 			s.met.jobsCancelled.Add(1)
 			hasSpans := s.captureSpans(j, JobCancelled, now.Sub(j.started))
 			j.log.Info("job cancelled", "state", JobCancelled, "runMs", durMS(now.Sub(j.started)))
@@ -327,6 +353,7 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 		j.finished = now
 		s.mu.Unlock()
 		s.met.jobsFailed.Add(1)
+		s.journalTerminal(j.id, JobFailed)
 		hasSpans := s.captureSpans(j, JobFailed, now.Sub(j.started))
 		j.log.Error("job failed", "state", JobFailed, "error", err.Error(), "runMs", durMS(now.Sub(j.started)))
 		j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: err.Error(), Spans: hasSpans})
@@ -359,6 +386,7 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 			j.finished = now
 			s.met.jobsFailed.Add(1)
 			s.mu.Unlock()
+			s.journalTerminal(j.id, JobFailed)
 			hasSpans := s.captureSpans(j, JobFailed, now.Sub(j.started))
 			j.log.Error("job failed", "state", JobFailed, "error", werr.Error(), "runMs", durMS(now.Sub(j.started)))
 			j.events.publish(fleet.Event{Type: "job", Status: string(JobFailed), Err: werr.Error(), Spans: hasSpans})
@@ -375,6 +403,7 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 			}
 			s.met.jobsCompleted.Add(1)
 			s.mu.Unlock()
+			s.journalTerminal(j.id, JobDone)
 			hasSpans := s.captureSpans(j, JobDone, now.Sub(j.started))
 			j.log.Info("job completed", "state", JobDone,
 				"runMs", durMS(now.Sub(j.started)), "resultBytes", buf.Len())
@@ -504,6 +533,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, SubmitResponse{ID: key, Status: JobDone, Cached: true, Runs: canon.Runs()})
 		return
 	}
+	// Shard multi-run sweeps across the fleet while workers are alive.
+	// Trace-flagged jobs always run locally: the flight recorder's
+	// artifact is process-local state. (Workers behind an open circuit
+	// breaker don't count as alive.)
+	willShard := s.coord.ActiveWorkers() > 0 && !canon.Trace && canon.Runs() > 1
+	// Admission control guards the local queue; sharded jobs don't enter
+	// it (the coordinator has its own bound, enforced below on fallback).
+	if !willShard {
+		if retryAfter, ok := s.admitLocked(canon.class()); !ok {
+			s.mu.Unlock()
+			s.rejectSubmission(w, canon.class(), retryAfter)
+			return
+		}
+	}
 	j := s.newJobLocked(key, canon, obs.RequestIDFrom(r.Context()))
 	// Adopt the submitting request's trace: the job span outlives the HTTP
 	// root span and collects every phase — queue wait, per-unit fleet
@@ -514,10 +557,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.span.SetAttr("jobId", key)
 		j.span.SetAttrInt("runs", int64(j.totalRuns))
 	}
-	// Shard multi-run sweeps across the fleet while workers are alive.
-	// Trace-flagged jobs always run locally: the flight recorder's
-	// artifact is process-local state.
-	if s.coord.ActiveWorkers() > 0 && !canon.Trace && canon.Runs() > 1 {
+	if willShard {
 		j.sharded = true
 		j.state = JobRunning
 		j.started = time.Now()
@@ -525,6 +565,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.met.cacheMisses.Add(1)
 		resp := SubmitResponse{ID: key, Status: JobRunning, Runs: j.totalRuns}
 		s.mu.Unlock()
+		// Journal before the coordinator can run (and finish) the job, so
+		// the submit record always precedes its terminal record.
+		s.journalSubmit(j)
 		units, uerr := unitsFor(key, canon)
 		if uerr == nil {
 			uerr = s.submitSharded(j, units)
@@ -539,7 +582,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			if qerr := s.queue.Push(j, canon.class()); qerr != nil {
 				delete(s.jobs, key)
 				s.mu.Unlock()
-				httpError(w, http.StatusServiceUnavailable, "job queue is full")
+				// Already journaled as submitted; close that record out so
+				// a restart doesn't resurrect a job the client saw rejected.
+				s.journalTerminal(key, JobCancelled)
+				s.rejectSubmission(w, canon.class(), s.retryAfterSeconds())
 				return
 			}
 			resp.Status = JobQueued
@@ -554,10 +600,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, resp)
 		return
 	}
+	// Journal before Push: once queued, a fast worker could finish the job
+	// before this handler resumes, and the submit record must land first.
+	s.journalSubmit(j)
 	if err := s.queue.Push(j, canon.class()); err != nil {
 		delete(s.jobs, key)
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "job queue is full")
+		s.journalTerminal(key, JobCancelled)
+		s.rejectSubmission(w, canon.class(), s.retryAfterSeconds())
 		return
 	}
 	s.met.jobsSubmitted.Add(1)
@@ -718,6 +768,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if sharded {
 		s.coord.CancelJob(id)
 	}
+	s.journalTerminal(id, JobCancelled)
 	j.log.Info("job cancelled", "state", JobCancelled, "via", "delete", "dequeued", wasQueued)
 	j.events.publish(fleet.Event{Type: "job", Status: string(JobCancelled)})
 	j.events.close()

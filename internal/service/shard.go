@@ -48,6 +48,9 @@ func (s *Server) submitSharded(j *job, units []fleet.Unit) error {
 	cb := fleet.JobCallbacks{
 		OnEvent: func(ev fleet.Event) {
 			j.doneRuns.Store(int64(ev.Done))
+			if s.cfg.Journal != nil && (ev.Type == "unit" || ev.Type == "cache") {
+				s.cfg.Journal.Unit(j.id, ev.UnitKey, ev.Status)
+			}
 			j.events.publish(ev)
 		},
 		OnDone: func(result []byte, err error) {
@@ -75,6 +78,7 @@ func (s *Server) finishSharded(j *job, result []byte, err error) {
 		j.finished = now
 		s.mu.Unlock()
 		s.met.jobsFailed.Add(1)
+		s.journalTerminal(j.id, JobFailed)
 		hasSpans := s.captureSpans(j, JobFailed, now.Sub(j.started))
 		j.log.Error("job failed", "state", JobFailed, "error", err.Error(),
 			"runMs", durMS(now.Sub(j.started)))
@@ -89,6 +93,7 @@ func (s *Server) finishSharded(j *job, result []byte, err error) {
 	}
 	s.mu.Unlock()
 	s.met.jobsCompleted.Add(1)
+	s.journalTerminal(j.id, JobDone)
 	hasSpans := s.captureSpans(j, JobDone, now.Sub(j.started))
 	j.log.Info("job completed", "state", JobDone, "sharded", true,
 		"runMs", durMS(now.Sub(j.started)), "resultBytes", len(result))

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-parallel bench bench-all eval serve fleet-smoke chaos-smoke heatmap design cover clean
+.PHONY: all build vet test race race-parallel bench bench-all eval serve fleet-smoke chaos-smoke saturation-sweep heatmap design cover clean
 
 all: build vet test
 
@@ -63,6 +63,15 @@ chaos-smoke:
 	CHAOS_SMOKE=1 $(GO) test -count=1 -v \
 		-run 'TestChaosConvergence|TestServerRecoversJournaledJobs|TestAdmissionShedsBatchBeforeInteractive' \
 		./internal/service
+
+# Injection-rate sweep demo: drives SingleBase and EquiNox from light load
+# into overload, asserts the saturation detector stays quiet at the light
+# end and fires at the heavy end, and writes every window as CSV for
+# plotting (override the path with TELEMETRY_SWEEP_CSV).
+TELEMETRY_SWEEP_CSV ?= telemetry-sweep.csv
+saturation-sweep:
+	TELEMETRY_SWEEP_CSV=$(TELEMETRY_SWEEP_CSV) $(GO) test -count=1 -v \
+		-run TestSaturationSweep ./internal/sim
 
 # Figure 4 heat maps and the placement scoring table.
 heatmap:

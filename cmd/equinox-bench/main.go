@@ -24,6 +24,7 @@ import (
 	"equinox/internal/mcts"
 	"equinox/internal/placement"
 	"equinox/internal/sim"
+	"equinox/internal/telemetry"
 	"equinox/internal/workloads"
 )
 
@@ -48,8 +49,11 @@ type report struct {
 	ProbeEvery        int64  `json:"probe_every,omitempty"`
 	// Parallel is the shard parallelism of the "<scheme>@parN" sub-records
 	// (0 = the record is serial-only).
-	Parallel int            `json:"parallel,omitempty"`
-	Schemes  []schemeResult `json:"schemes"`
+	Parallel int `json:"parallel,omitempty"`
+	// Telemetry marks records that include "<scheme>+telemetry" sub-records
+	// measured with the windowed time-series attached.
+	Telemetry bool           `json:"telemetry,omitempty"`
+	Schemes   []schemeResult `json:"schemes"`
 	// Baseline optionally embeds a previous report's scheme results for
 	// side-by-side before/after records (see -baseline).
 	Baseline []schemeResult `json:"baseline,omitempty"`
@@ -65,6 +69,8 @@ func main() {
 		"attach occupancy probes sampling every N cycles (0 = no probes), to measure their overhead")
 	parallel := flag.Int("parallel", 0,
 		"also measure each scheme with the deterministic parallel stepper at N shards, recorded as \"<scheme>@parN\" sub-records")
+	withTelemetry := flag.Bool("telemetry", false,
+		"also measure each scheme with windowed telemetry attached, recorded as \"<scheme>+telemetry\" sub-records, to measure its overhead")
 	compare := flag.String("compare", "",
 		"baseline BENCH_*.json: compare it against the new record given as the next argument and exit nonzero on regression")
 	flag.Parse()
@@ -87,6 +93,7 @@ func main() {
 		InstructionsPerPE: *instr,
 		ProbeEvery:        *probeEvery,
 		Parallel:          *parallel,
+		Telemetry:         *withTelemetry,
 	}
 	for _, scheme := range sim.AllSchemes() {
 		cfg := sim.DefaultConfig(scheme)
@@ -105,7 +112,7 @@ func main() {
 			cfg.EIRGroups = prob.Groups(res.Assignment)
 		}
 
-		sr := measure(scheme.String(), cfg, prof, *probeEvery)
+		sr := measure(scheme.String(), cfg, prof, *probeEvery, false)
 		rep.Schemes = append(rep.Schemes, sr)
 		fmt.Printf("%-18s %12d ns/op %10.0f cycles/sec %8d allocs/op\n",
 			sr.Scheme, sr.NsPerOp, sr.CyclesPerSec, sr.AllocsPerOp)
@@ -113,7 +120,7 @@ func main() {
 		if *parallel > 1 {
 			pcfg := cfg
 			pcfg.Parallel = *parallel
-			pr := measure(fmt.Sprintf("%s@par%d", scheme, *parallel), pcfg, prof, *probeEvery)
+			pr := measure(fmt.Sprintf("%s@par%d", scheme, *parallel), pcfg, prof, *probeEvery, false)
 			rep.Schemes = append(rep.Schemes, pr)
 			speedup := 0.0
 			if sr.CyclesPerSec > 0 {
@@ -121,6 +128,17 @@ func main() {
 			}
 			fmt.Printf("%-18s %12d ns/op %10.0f cycles/sec %8d allocs/op  %.2fx vs serial\n",
 				pr.Scheme, pr.NsPerOp, pr.CyclesPerSec, pr.AllocsPerOp, speedup)
+		}
+
+		if *withTelemetry {
+			tr := measure(scheme.String()+"+telemetry", cfg, prof, *probeEvery, true)
+			rep.Schemes = append(rep.Schemes, tr)
+			ratio := 0.0
+			if sr.CyclesPerSec > 0 {
+				ratio = tr.CyclesPerSec / sr.CyclesPerSec
+			}
+			fmt.Printf("%-18s %12d ns/op %10.0f cycles/sec %8d allocs/op  %.2fx vs plain\n",
+				tr.Scheme, tr.NsPerOp, tr.CyclesPerSec, tr.AllocsPerOp, ratio)
 		}
 	}
 
@@ -147,7 +165,7 @@ func main() {
 }
 
 // measure benchmarks one configuration and returns its scheme record.
-func measure(name string, cfg sim.Config, prof workloads.Profile, probeEvery int64) schemeResult {
+func measure(name string, cfg sim.Config, prof workloads.Profile, probeEvery int64, withTelemetry bool) schemeResult {
 	var cycles int64
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -159,6 +177,9 @@ func measure(name string, cfg sim.Config, prof workloads.Profile, probeEvery int
 			}
 			if probeEvery > 0 {
 				sys.AttachProbes(probeEvery)
+			}
+			if withTelemetry {
+				sys.AttachTelemetry(telemetry.Options{})
 			}
 			res, err := sys.RunToCompletion()
 			if err != nil {

@@ -74,6 +74,7 @@ func main() {
 
 		traceTail   = flag.Duration("trace-tail", 0, "tail-sampling threshold: keep span traces only for jobs at least this slow (0 = keep all)")
 		traceSample = flag.Int("trace-sample", 0, "with -trace-tail, also keep 1-in-N span traces of fast jobs (0 = none)")
+		openMetrics = flag.Bool("openmetrics", false, "terminate /v1/metrics expositions with the OpenMetrics \"# EOF\" marker")
 
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "structured log format: text or json")
@@ -120,6 +121,7 @@ func main() {
 		Store:          persist,
 		TraceTail:      *traceTail,
 		TraceSample:    *traceSample,
+		OpenMetrics:    *openMetrics,
 		Fleet: fleet.Config{
 			LeaseTTL:         *leaseTTL,
 			MaxAttempts:      *attempts,

@@ -21,6 +21,17 @@
 //
 //	equinox-trace -spans <jobID> [-server http://localhost:8080] [-spans-out spans.json]
 //
+// With -telemetry it downloads a telemetry-flagged job's windowed
+// time-series (GET /v1/jobs/{id}/telemetry) — per-window throughput,
+// latency quantiles, occupancy, and the saturation/steady-state verdicts —
+// as JSON and/or flattened per-window CSV for plotting:
+//
+//	equinox-trace -telemetry <jobID> [-telemetry-out t.json] [-telemetry-csv windows.csv]
+//
+// Both fetch modes exit nonzero with the server's explanation on a 404
+// (unknown or uninstrumented job) or 409 (job still running) without
+// creating the output file.
+//
 // Usage:
 //
 //	equinox-trace [-scheme EquiNox] [-bench kmeans] [-instr 600]
@@ -32,6 +43,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +56,7 @@ import (
 	"equinox/internal/flight"
 	"equinox/internal/noc"
 	"equinox/internal/sim"
+	"equinox/internal/telemetry"
 	"equinox/internal/trace"
 	"equinox/internal/viz"
 	"equinox/internal/workloads"
@@ -73,13 +86,23 @@ func main() {
 		stallLimit = flag.Int64("stall-limit", 0, "starvation watchdog window in cycles (0 = default 50000, <0 = off)")
 
 		spansJob = flag.String("spans", "", "download a server job's distributed span trace instead of simulating (job ID)")
-		server   = flag.String("server", "http://localhost:8080", "equinox-server base URL (with -spans)")
+		server   = flag.String("server", "http://localhost:8080", "equinox-server base URL (with -spans / -telemetry)")
 		spansOut = flag.String("spans-out", "", "write the downloaded span trace to this file (default stdout)")
+
+		telemetryJob = flag.String("telemetry", "", "download a server job's windowed telemetry instead of simulating (job ID)")
+		telemetryOut = flag.String("telemetry-out", "", "write the downloaded telemetry JSON to this file (default stdout)")
+		telemetryCSV = flag.String("telemetry-csv", "", "flatten the downloaded telemetry into per-window CSV rows in this file (with -telemetry)")
 	)
 	flag.Parse()
 
 	if *spansJob != "" {
-		if err := fetchSpans(*server, *spansJob, *spansOut); err != nil {
+		if err := fetchArtifact(*server, *spansJob, "spans", *spansOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *telemetryJob != "" {
+		if err := fetchTelemetry(*server, *telemetryJob, *telemetryOut, *telemetryCSV); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -254,36 +277,80 @@ func main() {
 	}
 }
 
-// fetchSpans downloads a job's assembled span trace from the server and
-// writes it to out (stdout when empty). The server only serves spans for
-// finished jobs that survived tail sampling, so the error text forwards its
-// explanation verbatim.
-func fetchSpans(server, jobID, out string) error {
-	url := strings.TrimRight(server, "/") + "/v1/jobs/" + jobID + "/spans"
+// getArtifact fetches one of a job's artifact endpoints and returns the
+// body. Any non-200 — 404 for an unknown/uninstrumented job, 409 for one
+// still running — becomes an error carrying the server's explanation
+// verbatim, so callers exit nonzero before creating (or truncating) any
+// output file.
+func getArtifact(server, jobID, endpoint string) ([]byte, error) {
+	url := strings.TrimRight(server, "/") + "/v1/jobs/" + jobID + "/" + endpoint
 	resp, err := http.Get(url)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
 	}
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	return io.ReadAll(resp.Body)
+}
+
+// fetchArtifact downloads a job artifact and writes it to out (stdout when
+// empty). The output file is only created after a successful fetch.
+func fetchArtifact(server, jobID, endpoint, out string) error {
+	body, err := getArtifact(server, jobID, endpoint)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err := os.Stdout.Write(body)
+		return err
+	}
+	if err := os.WriteFile(out, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", out, len(body))
+	return nil
+}
+
+// fetchTelemetry downloads a job's windowed telemetry summaries
+// (GET /v1/jobs/{id}/telemetry) and writes the raw JSON to jsonOut (stdout
+// when no CSV was requested either) and/or a flattened per-window CSV to
+// csvOut. Like fetchArtifact, nothing is written on a failed fetch.
+func fetchTelemetry(server, jobID, jsonOut, csvOut string) error {
+	body, err := getArtifact(server, jobID, "telemetry")
+	if err != nil {
+		return err
+	}
+	var sums []telemetry.RunSummary
+	if csvOut != "" {
+		// Decode before touching the filesystem so a malformed body cannot
+		// leave a truncated CSV behind.
+		if err := json.Unmarshal(body, &sums); err != nil {
+			return fmt.Errorf("parse telemetry for %s: %w", jobID, err)
+		}
+	}
+	if jsonOut != "" {
+		if err := os.WriteFile(jsonOut, body, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", jsonOut, len(body))
+	} else if csvOut == "" {
+		if _, err := os.Stdout.Write(body); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		w = f
-	}
-	n, err := io.Copy(w, resp.Body)
-	if err != nil {
-		return err
-	}
-	if out != "" {
-		fmt.Printf("wrote %s (%d bytes)\n", out, n)
+		if err := telemetry.WriteCSV(f, sums); err != nil {
+			return err
+		}
+		fmt.Println("wrote", csvOut)
 	}
 	return nil
 }

@@ -15,10 +15,13 @@
 // started before its coordinator waits for it with capped backoff and
 // exits nonzero only once -connect-timeout elapses.
 //
-// With -pprof-addr the worker serves /debug/pprof/ on a separate listener:
+// With -pprof-addr the worker serves /debug/pprof/ and its own
+// /v1/metrics exposition (with an equinox_build_info gauge) on a
+// separate listener:
 //
 //	equinox-worker -coordinator http://localhost:8080 -pprof-addr localhost:6060
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//	curl http://localhost:6060/v1/metrics
 //
 // Each worker also joins the coordinator's distributed traces: leases carry
 // a traceparent, and the worker's per-unit spans ship back with the result.
@@ -57,7 +60,8 @@ func main() {
 		poll        = flag.Duration("poll", 500*time.Millisecond, "lease poll interval while idle")
 		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "lease renewal interval (keep well under the coordinator's lease TTL)")
 		connectTO   = flag.Duration("connect-timeout", 2*time.Minute, "budget for the initial coordinator connection; retried with capped backoff, exit nonzero once it elapses")
-		pprofAddr   = flag.String("pprof-addr", "", "listen address for /debug/pprof (empty = disabled)")
+		pprofAddr   = flag.String("pprof-addr", "", "listen address for /debug/pprof and /v1/metrics (empty = disabled)")
+		openMetrics = flag.Bool("openmetrics", false, "terminate /v1/metrics expositions with the OpenMetrics \"# EOF\" marker")
 
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "structured log format: text or json")
@@ -87,18 +91,30 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
-		// net/http/pprof registers on the default mux; serve it on its own
-		// listener so profiling never rides the coordinator connection.
+		// The sidecar listener carries the worker's own observability:
+		// /v1/metrics (build-info gauge, same exposition format as the
+		// coordinator's endpoint) plus /debug/pprof/, which net/http/pprof
+		// registers on the default mux. A dedicated listener means neither
+		// ever rides the coordinator connection.
 		ln, lerr := net.Listen("tcp", *pprofAddr)
 		if lerr != nil {
 			log.Fatal(lerr)
 		}
+		reg := obs.NewRegistry()
+		obs.RegisterBuildInfo(reg)
+		reg.SetOpenMetricsEOF(*openMetrics)
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w) //nolint:errcheck
+		})
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
 		go func() {
-			if serr := http.Serve(ln, http.DefaultServeMux); serr != nil {
+			if serr := http.Serve(ln, mux); serr != nil {
 				log.Printf("pprof serve: %v", serr)
 			}
 		}()
-		log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+		log.Printf("pprof on http://%s/debug/pprof/, metrics on http://%s/v1/metrics", ln.Addr(), ln.Addr())
 	}
 
 	w, err := fleet.NewWorker(fleet.WorkerConfig{

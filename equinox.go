@@ -24,6 +24,7 @@ import (
 	"equinox/internal/core"
 	"equinox/internal/flight"
 	"equinox/internal/sim"
+	"equinox/internal/telemetry"
 	"equinox/internal/workloads"
 )
 
@@ -57,6 +58,14 @@ type RunConfig struct {
 	// sim.Config.Parallel): networks step concurrently and core-domain
 	// meshes shard row-wise, with results bit-identical to a serial run.
 	Parallel int
+
+	// Telemetry attaches the windowed telemetry time-series to the run
+	// (internal/telemetry): per-window throughput, latency quantiles, and
+	// occupancy, plus online steady-state and saturation detectors. Purely
+	// observational — the Result is bit-identical either way. Use
+	// RunBenchmarkTelemetryContext to receive the capture; the plain
+	// RunBenchmark* entry points honor the flag but discard it.
+	Telemetry bool
 }
 
 // RunBenchmark simulates one scheme on one benchmark and returns the full
@@ -68,6 +77,10 @@ func RunBenchmark(rc RunConfig) (sim.Result, error) {
 // RunBenchmarkContext is RunBenchmark with cancellation: the simulation's
 // cycle loop polls ctx and returns ctx.Err() when it is cancelled.
 func RunBenchmarkContext(ctx context.Context, rc RunConfig) (sim.Result, error) {
+	if rc.Telemetry {
+		res, _, err := RunBenchmarkTelemetryContext(ctx, rc, telemetry.Options{})
+		return res, err
+	}
 	cfg, prof, err := rc.simSetup()
 	if err != nil {
 		return sim.Result{}, err
@@ -80,17 +93,41 @@ func RunBenchmarkContext(ctx context.Context, rc RunConfig) (sim.Result, error) 
 // fails — a starvation-watchdog diagnostic is exactly when the recorded
 // events matter most.
 func RunBenchmarkFlightContext(ctx context.Context, rc RunConfig, opts flight.Options) (sim.Result, *flight.Capture, error) {
+	res, fc, _, err := runInstrumented(ctx, rc, &opts, nil)
+	return res, fc, err
+}
+
+// RunBenchmarkTelemetryContext is RunBenchmarkContext with the windowed
+// telemetry time-series (internal/telemetry) attached to every network.
+// Telemetry is purely observational — the Result is bit-identical to an
+// uninstrumented run — and the capture is returned even when the run fails,
+// since a timeout's dynamics are exactly what the windows show.
+func RunBenchmarkTelemetryContext(ctx context.Context, rc RunConfig, opts telemetry.Options) (sim.Result, *telemetry.Capture, error) {
+	res, _, tc, err := runInstrumented(ctx, rc, nil, &opts)
+	return res, tc, err
+}
+
+// runInstrumented builds the system and attaches whichever observers are
+// requested (both may ride one run: a traced job with telemetry on).
+func runInstrumented(ctx context.Context, rc RunConfig, fl *flight.Options, tel *telemetry.Options) (sim.Result, *flight.Capture, *telemetry.Capture, error) {
 	cfg, prof, err := rc.simSetup()
 	if err != nil {
-		return sim.Result{}, nil, err
+		return sim.Result{}, nil, nil, err
 	}
 	sys, err := sim.NewSystem(cfg, prof)
 	if err != nil {
-		return sim.Result{}, nil, err
+		return sim.Result{}, nil, nil, err
 	}
-	cap := sys.AttachFlight(opts)
+	var fc *flight.Capture
+	var tc *telemetry.Capture
+	if fl != nil {
+		fc = sys.AttachFlight(*fl)
+	}
+	if tel != nil {
+		tc = sys.AttachTelemetry(*tel)
+	}
 	res, err := sys.RunToCompletionContext(ctx)
-	return res, cap, err
+	return res, fc, tc, err
 }
 
 // simSetup validates the run configuration and resolves it into the

@@ -10,6 +10,7 @@ import (
 	"equinox/internal/geom"
 	"equinox/internal/obs"
 	"equinox/internal/sim"
+	"equinox/internal/telemetry"
 )
 
 // ExportedRun is the JSON shape of one (scheme, benchmark) measurement.
@@ -58,6 +59,12 @@ type ExportedEvaluation struct {
 	// Phases carries the sweep's aggregated phase timings (placement, MCTS,
 	// simulation); summed across parallel workers.
 	Phases []obs.Phase `json:"phases,omitempty"`
+	// Telemetry carries the per-run windowed telemetry summaries of a
+	// Telemetry-flagged sweep (EvalConfig.Telemetry), sorted like Runs.
+	// Like Phases it is execution metadata, not run identity: the fleet's
+	// CanonicalResult strips it, so cached/assembled results stay
+	// byte-comparable across telemetry settings.
+	Telemetry []telemetry.RunSummary `json:"telemetry,omitempty"`
 }
 
 // exportRun converts a sim.Result.
@@ -154,6 +161,13 @@ func (ev *Evaluation) WriteJSON(w io.Writer) error {
 			return out.Runs[i].Scheme < out.Runs[j].Scheme
 		}
 		return out.Runs[i].Benchmark < out.Runs[j].Benchmark
+	})
+	out.Telemetry = append([]telemetry.RunSummary(nil), ev.Telemetry...)
+	sort.Slice(out.Telemetry, func(i, j int) bool {
+		if out.Telemetry[i].Scheme != out.Telemetry[j].Scheme {
+			return out.Telemetry[i].Scheme < out.Telemetry[j].Scheme
+		}
+		return out.Telemetry[i].Benchmark < out.Telemetry[j].Benchmark
 	})
 	for _, e := range ev.Errors {
 		out.Errors = append(out.Errors, e.Error())

@@ -15,6 +15,7 @@ import (
 	"equinox/internal/obs/trace"
 	"equinox/internal/sim"
 	"equinox/internal/stats"
+	"equinox/internal/telemetry"
 )
 
 // EvalConfig configures a full §6 evaluation sweep.
@@ -50,6 +51,23 @@ type EvalConfig struct {
 	// (internal/flight) to one run of the sweep and collects its capture in
 	// Evaluation.Flights. It is not part of the serialized configuration.
 	Flight *FlightConfig `json:"-"`
+
+	// Telemetry attaches the windowed telemetry time-series to every run of
+	// the sweep; summaries collect in Evaluation.Telemetry and export as the
+	// evaluation document's "telemetry" field. Purely observational: every
+	// Result is bit-identical to an uninstrumented run. Like Parallel it is
+	// execution advice, not sweep identity.
+	Telemetry bool
+
+	// TelemetryOptions tunes windowing and the detectors when Telemetry is
+	// on (zero = defaults). Not part of the serialized configuration.
+	TelemetryOptions telemetry.Options `json:"-"`
+
+	// TelemetryFrame, when non-nil, receives each run's telemetry summary
+	// as the run finishes — the live-streaming hook the job server uses for
+	// SSE "telemetry" frames. Calls are serialized; the callback must not
+	// block for long. Not part of the serialized configuration.
+	TelemetryFrame func(telemetry.RunSummary) `json:"-"`
 }
 
 // FlightConfig selects and configures the sweep's traced run.
@@ -85,6 +103,10 @@ type Evaluation struct {
 	// per sweep today). A capture is kept even when its run failed — a
 	// watchdog diagnostic is when the events matter.
 	Flights []*flight.Capture
+	// Telemetry holds the per-run windowed telemetry summaries of a
+	// Telemetry-flagged sweep (one per run, kept even for failed runs —
+	// a timeout's window series is its best diagnostic).
+	Telemetry []telemetry.RunSummary
 }
 
 // RunEvaluation executes the sweep, parallelizing independent simulations.
@@ -205,13 +227,24 @@ dispatch:
 				res     sim.Result
 				err     error
 				capture *flight.Capture
+				telCap  *telemetry.Capture
 			)
 			rsp := trace.StartChild(ctx, fmt.Sprintf("run %v/%s", j.scheme, j.bench))
 			rsp.SetAttr("scheme", fmt.Sprintf("%v", j.scheme))
 			rsp.SetAttr("benchmark", j.bench)
 			runCtx := trace.WithSpan(ctx, rsp)
+			var flOpts *flight.Options
 			if cfg.Flight != nil && j.scheme == traceScheme && j.bench == traceBench {
-				res, capture, err = RunBenchmarkFlightContext(runCtx, rc, cfg.Flight.Options)
+				o := cfg.Flight.Options
+				flOpts = &o
+			}
+			var telOpts *telemetry.Options
+			if cfg.Telemetry {
+				o := cfg.TelemetryOptions
+				telOpts = &o
+			}
+			if flOpts != nil || telOpts != nil {
+				res, capture, telCap, err = runInstrumented(runCtx, rc, flOpts, telOpts)
 			} else {
 				res, err = RunBenchmarkContext(runCtx, rc)
 			}
@@ -224,6 +257,13 @@ dispatch:
 			done++
 			if capture != nil {
 				ev.Flights = append(ev.Flights, capture)
+			}
+			if telCap != nil {
+				sum := telCap.Summary()
+				ev.Telemetry = append(ev.Telemetry, sum)
+				if cfg.TelemetryFrame != nil {
+					cfg.TelemetryFrame(sum)
+				}
 			}
 			switch {
 			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):

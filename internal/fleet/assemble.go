@@ -23,13 +23,20 @@ func marshalEval(doc *equinox.ExportedEvaluation) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// sortEval puts runs and errors into the canonical order WriteJSON uses.
+// sortEval puts runs, telemetry, and errors into the canonical order
+// WriteJSON uses.
 func sortEval(doc *equinox.ExportedEvaluation) {
 	sort.Slice(doc.Runs, func(i, j int) bool {
 		if doc.Runs[i].Scheme != doc.Runs[j].Scheme {
 			return doc.Runs[i].Scheme < doc.Runs[j].Scheme
 		}
 		return doc.Runs[i].Benchmark < doc.Runs[j].Benchmark
+	})
+	sort.Slice(doc.Telemetry, func(i, j int) bool {
+		if doc.Telemetry[i].Scheme != doc.Telemetry[j].Scheme {
+			return doc.Telemetry[i].Scheme < doc.Telemetry[j].Scheme
+		}
+		return doc.Telemetry[i].Benchmark < doc.Telemetry[j].Benchmark
 	})
 	sort.Strings(doc.Errors)
 }
@@ -45,8 +52,25 @@ func CanonicalResult(raw []byte) ([]byte, error) {
 		return nil, fmt.Errorf("fleet: bad evaluation document: %w", err)
 	}
 	doc.Phases = nil
+	doc.Telemetry = nil
 	sortEval(&doc)
 	return marshalEval(&doc)
+}
+
+// extractTelemetry pulls the raw "telemetry" block out of an evaluation
+// document, or nil when absent. Workers use it to ship the block in
+// CompleteRequest; the coordinator uses it on cache hits.
+func extractTelemetry(result []byte) json.RawMessage {
+	var doc struct {
+		Telemetry json.RawMessage `json:"telemetry"`
+	}
+	if err := json.Unmarshal(result, &doc); err != nil {
+		return nil
+	}
+	if len(doc.Telemetry) == 0 || bytes.Equal(doc.Telemetry, []byte("null")) {
+		return nil
+	}
+	return doc.Telemetry
 }
 
 // assemble merges completed unit documents (and failed units' error
@@ -67,6 +91,7 @@ func assemble(units []*trackedUnit) ([]byte, error) {
 			}
 			out.Runs = append(out.Runs, doc.Runs...)
 			out.Errors = append(out.Errors, doc.Errors...)
+			out.Telemetry = append(out.Telemetry, doc.Telemetry...)
 			if out.Design == nil {
 				out.Design = doc.Design
 			}

@@ -81,7 +81,7 @@ func TestCoordinatorBreakerQuarantinesAndProbes(t *testing.T) {
 	// Two consecutive failures open flaky's circuit.
 	for i := 0; i < 2; i++ {
 		g := leaseAs("flaky")
-		if err := c.Complete(g.LeaseID, nil, "injected failure", nil); err != nil {
+		if err := c.Complete(g.LeaseID, nil, "injected failure", nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -108,7 +108,7 @@ func TestCoordinatorBreakerQuarantinesAndProbes(t *testing.T) {
 	}
 	// A healthy worker drains one unit meanwhile.
 	g := leaseAs("healthy")
-	if err := c.Complete(g.LeaseID, unitDocJSON(g.Unit.Scheme, g.Unit.Benchmark), "", nil); err != nil {
+	if err := c.Complete(g.LeaseID, unitDocJSON(g.Unit.Scheme, g.Unit.Benchmark), "", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -130,7 +130,7 @@ func TestCoordinatorBreakerQuarantinesAndProbes(t *testing.T) {
 		t.Fatal("half-open circuit granted a second concurrent lease")
 	}
 	// Probe succeeds: circuit closes.
-	if err := c.Complete(probe.LeaseID, unitDocJSON(probe.Unit.Scheme, probe.Unit.Benchmark), "", nil); err != nil {
+	if err := c.Complete(probe.LeaseID, unitDocJSON(probe.Unit.Scheme, probe.Unit.Benchmark), "", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.WorkerCircuitState("flaky"); st != int(breakerClosed) {
@@ -174,7 +174,7 @@ func TestCoordinatorBreakerReopensOnFailedProbe(t *testing.T) {
 		return LeaseResponse{}
 	}
 	g := lease()
-	if err := c.Complete(g.LeaseID, nil, "boom", nil); err != nil {
+	if err := c.Complete(g.LeaseID, nil, "boom", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.WorkerCircuitState("flaky"); st != int(breakerOpen) {
@@ -182,7 +182,7 @@ func TestCoordinatorBreakerReopensOnFailedProbe(t *testing.T) {
 	}
 	skewNS.Add(int64(2 * time.Hour))
 	g = lease() // half-open probe
-	if err := c.Complete(g.LeaseID, nil, "boom again", nil); err != nil {
+	if err := c.Complete(g.LeaseID, nil, "boom again", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	// A failed probe reopens immediately regardless of the threshold.

@@ -338,6 +338,17 @@ func (c *Coordinator) SubmitJob(id string, class Class, units []Unit, cb JobCall
 				tu.span.SetAttr("cache", "hit")
 				tu.span.End()
 				tu.span = nil
+				// A cached unit run with telemetry on still carries its
+				// windows; replay them so a cache-heavy job streams the
+				// same live frames as a freshly computed one.
+				if tel := extractTelemetry(res); len(tel) > 0 {
+					events = append(events, Event{
+						Type:   "telemetry",
+						Scheme: u.Scheme, Benchmark: u.Benchmark, UnitKey: u.Key,
+						Done: doneUnits, Total: len(units),
+						Telemetry: tel,
+					})
+				}
 				events = append(events, Event{
 					Type: "cache", Status: "completed",
 					Scheme: u.Scheme, Benchmark: u.Benchmark, UnitKey: u.Key,
@@ -480,8 +491,10 @@ func (c *Coordinator) Lease(worker string) (LeaseResponse, bool) {
 // Complete records a unit's outcome. An unknown lease (expired and
 // re-granted, or from a cancelled job) returns ErrUnknownLease; the
 // worker discards the unit. spans, when present, are the worker's
-// finished spans for the unit, stitched into the job's trace.
-func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string, spans []trace.SpanRecord) error {
+// finished spans for the unit, stitched into the job's trace. telemetry,
+// when present, is the unit's windowed telemetry summary block, delivered
+// as a "telemetry" event just before the completed event.
+func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string, spans []trace.SpanRecord, telemetry []byte) error {
 	now := c.cfg.Now()
 	c.mu.Lock()
 	l, ok := c.leases[leaseID]
@@ -521,11 +534,20 @@ func (c *Coordinator) Complete(leaseID string, result []byte, errMsg string, spa
 		u.span.End()
 		u.span = nil
 		storePut = c.cfg.Store != nil
-		d = delivery{job: j, events: []Event{{
+		d = delivery{job: j, final: j.rem == 0}
+		if len(telemetry) > 0 {
+			d.events = append(d.events, Event{
+				Type:   "telemetry",
+				Scheme: u.Scheme, Benchmark: u.Benchmark, UnitKey: u.Key,
+				Done: len(j.units) - j.rem, Total: len(j.units),
+				Telemetry: telemetry,
+			})
+		}
+		d.events = append(d.events, Event{
 			Type: "unit", Status: "completed",
 			Scheme: u.Scheme, Benchmark: u.Benchmark, UnitKey: u.Key,
 			Done: len(j.units) - j.rem, Total: len(j.units),
-		}}, final: j.rem == 0}
+		})
 		c.log.Info("unit completed",
 			"jobId", u.JobID, "unitKey", u.Key, "leaseId", leaseID,
 			"worker", l.worker, "resultBytes", len(result))

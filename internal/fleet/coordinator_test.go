@@ -109,7 +109,7 @@ func TestCoordinatorLeaseCompleteAssemble(t *testing.T) {
 			t.Fatalf("lease %d: no unit", i)
 		}
 		doc := unitDocJSON(grant.Unit.Scheme, grant.Unit.Benchmark)
-		if err := c.Complete(grant.LeaseID, doc, "", nil); err != nil {
+		if err := c.Complete(grant.LeaseID, doc, "", nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -166,7 +166,7 @@ func TestCoordinatorStoreHitSkipsExecution(t *testing.T) {
 	if _, ok := c.Lease("w1"); ok {
 		t.Fatal("second lease should find nothing")
 	}
-	if err := c.Complete(grant.LeaseID, unitDocJSON(grant.Unit.Scheme, grant.Unit.Benchmark), "", nil); err != nil {
+	if err := c.Complete(grant.LeaseID, unitDocJSON(grant.Unit.Scheme, grant.Unit.Benchmark), "", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := cl.wait(t); err != nil {
@@ -209,10 +209,10 @@ func TestCoordinatorLeaseExpiryRequeues(t *testing.T) {
 		t.Fatalf("re-leased wrong unit %s", regrant.Unit.Key)
 	}
 	// Completing with the dead lease is rejected.
-	if err := c.Complete(grant.LeaseID, nil, "", nil); err != ErrUnknownLease {
+	if err := c.Complete(grant.LeaseID, nil, "", nil, nil); err != ErrUnknownLease {
 		t.Fatalf("stale complete: %v", err)
 	}
-	if err := c.Complete(regrant.LeaseID, unitDocJSON("Scheme0", "bench"), "", nil); err != nil {
+	if err := c.Complete(regrant.LeaseID, unitDocJSON("Scheme0", "bench"), "", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := cl.wait(t); err != nil {
@@ -243,7 +243,7 @@ func TestCoordinatorHeartbeatKeepsLeaseAlive(t *testing.T) {
 			t.Fatalf("lease canceled at heartbeat %d: %v", i, canceled)
 		}
 	}
-	if err := c.Complete(grant.LeaseID, unitDocJSON("Scheme0", "bench"), "", nil); err != nil {
+	if err := c.Complete(grant.LeaseID, unitDocJSON("Scheme0", "bench"), "", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := cl.wait(t); err != nil {
@@ -271,14 +271,14 @@ func TestCoordinatorMaxAttemptsFailsUnit(t *testing.T) {
 			continue
 		}
 		if grant.Unit.Key == "jobF-key-0" {
-			if err := c.Complete(grant.LeaseID, nil, "simulator exploded", nil); err != nil {
+			if err := c.Complete(grant.LeaseID, nil, "simulator exploded", nil, nil); err != nil {
 				t.Fatal(err)
 			}
 			if grant.Unit.Key == "jobF-key-0" {
 				completed++ // count attempts on the failing unit
 			}
 		} else {
-			if err := c.Complete(grant.LeaseID, unitDocJSON(grant.Unit.Scheme, grant.Unit.Benchmark), "", nil); err != nil {
+			if err := c.Complete(grant.LeaseID, unitDocJSON(grant.Unit.Scheme, grant.Unit.Benchmark), "", nil, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -327,7 +327,7 @@ func TestCoordinatorCancelWithdrawsUnits(t *testing.T) {
 		t.Fatalf("heartbeat canceled: %v", canceled)
 	}
 	// A late completion for the withdrawn lease is dropped quietly.
-	if err := c.Complete(grant.LeaseID, unitDocJSON("x", "y"), "", nil); err != ErrUnknownLease {
+	if err := c.Complete(grant.LeaseID, unitDocJSON("x", "y"), "", nil, nil); err != ErrUnknownLease {
 		t.Fatalf("late complete: %v", err)
 	}
 	select {

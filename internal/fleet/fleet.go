@@ -71,8 +71,10 @@ type Unit struct {
 // Event is a job progress notification delivered to the coordinator's
 // submitter (the job server streams them to clients as SSE).
 type Event struct {
-	// Type is "unit" for unit lifecycle events or "cache" for unit-level
-	// store hits.
+	// Type is "unit" for unit lifecycle events, "cache" for unit-level
+	// store hits, or "telemetry" for a completed unit's windowed
+	// telemetry summary (emitted just before the unit's completed event
+	// when the worker shipped one).
 	Type string `json:"type"`
 	// Status qualifies unit events: leased, completed, failed, or
 	// retrying.
@@ -88,6 +90,10 @@ type Event struct {
 	// Spans is set on terminal job events when an assembled span trace is
 	// available at GET /v1/jobs/{id}/spans.
 	Spans bool `json:"spans,omitempty"`
+	// Telemetry carries the unit's telemetry.RunSummary array on
+	// "telemetry" events — the same block embedded in the unit's
+	// evaluation document.
+	Telemetry json.RawMessage `json:"telemetry,omitempty"`
 }
 
 // Wire types of the coordinator/worker HTTP protocol.
@@ -118,6 +124,10 @@ type CompleteRequest struct {
 	// when the lease carried a TraceParent and the worker traces); the
 	// coordinator stitches them into the job's trace.
 	Spans []trace.SpanRecord `json:"spans,omitempty"`
+	// Telemetry is the "telemetry" block of Result (the unit's windowed
+	// telemetry summaries), extracted by the worker so the coordinator can
+	// stream it as a live event without re-parsing the full document.
+	Telemetry json.RawMessage `json:"telemetry,omitempty"`
 }
 
 // HeartbeatRequest renews a worker's leases and marks it alive.

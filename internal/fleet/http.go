@@ -43,7 +43,7 @@ func RegisterHandlers(mux *http.ServeMux, c *Coordinator, log *slog.Logger) {
 			protocolError(w, http.StatusBadRequest, "leaseId is required")
 			return
 		}
-		if err := c.Complete(req.LeaseID, req.Result, req.Error, req.Spans); err != nil {
+		if err := c.Complete(req.LeaseID, req.Result, req.Error, req.Spans, req.Telemetry); err != nil {
 			if errors.Is(err, ErrUnknownLease) {
 				protocolError(w, http.StatusGone, err.Error())
 				return

@@ -287,6 +287,7 @@ func (w *Worker) execute(ctx context.Context, grant LeaseResponse) {
 			"leaseId", grant.LeaseID, "jobId", grant.Unit.JobID, "error", runErr)
 	} else {
 		req.Result = result
+		req.Telemetry = extractTelemetry(result)
 		w.log.Info("unit finished",
 			"leaseId", grant.LeaseID, "jobId", grant.Unit.JobID,
 			"resultBytes", len(result))

@@ -5,6 +5,7 @@ import (
 
 	"equinox/internal/flight"
 	"equinox/internal/geom"
+	"equinox/internal/telemetry"
 )
 
 // allocHarness keeps a warmed-up network saturated with recycled packets so
@@ -110,6 +111,25 @@ func TestStepDoesNotAllocate(t *testing.T) {
 			{cb2.ID(w), 0}, {cb2.ID(w), 7}, {cb2.ID(w), 56}, {cb2.ID(w), 63},
 		}
 		h := newAllocHarness(t, n, ReadReply, pairs, 4)
+		checkSteadyStateAllocs(t, h)
+	})
+
+	// The telemetry sampler's ring, sketch, and scratch are preallocated at
+	// attach, so windowed time-series collection — occupancy samples every
+	// 16 cycles and a window flush every 64, both inside the measured
+	// window — must add zero steady-state allocations.
+	t.Run("SingleBaseTelemetryAttached", func(t *testing.T) {
+		cfg := DefaultConfig("single", 8, 8)
+		cfg.Routing = RoutingXY
+		cfg.VCPolicy = VCByClass
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.AttachProbe(16)
+		n.AttachTelemetry(telemetry.Options{SampleEvery: 16, WindowCycles: 64, MaxWindows: 8})
+		pairs := [][2]int{{0, 63}, {63, 0}, {7, 56}, {56, 7}, {1, 27}, {62, 27}}
+		h := newAllocHarness(t, n, ReadRequest, pairs, 6)
 		checkSteadyStateAllocs(t, h)
 	})
 

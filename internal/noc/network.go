@@ -77,6 +77,11 @@ type Network struct {
 	// probe.Every cycles; nil costs one pointer compare per Step.
 	probe *Probe
 
+	// telem, when attached, feeds the windowed telemetry time-series
+	// (internal/telemetry) from the same seam; nil costs one pointer
+	// compare per Step.
+	telem *telemetrySampler
+
 	// flight, when attached, records per-packet lifecycle events into a
 	// preallocated ring; nil costs one pointer compare per hook site.
 	flight *flight.Recorder
@@ -471,6 +476,9 @@ func (n *Network) Step() {
 	}
 	if n.probe != nil && now%n.probe.Every == 0 {
 		n.probe.sample(n)
+	}
+	if n.telem != nil && now%n.telem.every == 0 {
+		n.telem.tick(n, now)
 	}
 	n.pruneActive()
 	n.Stats.cycles++

@@ -352,6 +352,9 @@ func (n *Network) stepSharded() {
 	if n.probe != nil && now%n.probe.Every == 0 {
 		n.probe.sample(n)
 	}
+	if n.telem != nil && now%n.telem.every == 0 {
+		n.telem.tick(n, now)
+	}
 	n.pruneActive()
 	n.Stats.cycles++
 	n.now++

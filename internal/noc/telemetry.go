@@ -1,0 +1,97 @@
+package noc
+
+import (
+	"equinox/internal/telemetry"
+)
+
+// telemetrySampler drives one network's telemetry.Series from the cycle
+// loop. Like Probe, all of its state is preallocated at attach time and
+// every per-cycle path is allocation-free (pinned by TestStepDoesNotAllocate);
+// a nil sampler costs one pointer compare per Step.
+//
+// Cadences: occupancy is sampled every `every` cycles (the stride of the
+// Step hook), and the window flushes every `window` cycles — a multiple of
+// the stride, so flush boundaries always land on sampling cycles.
+type telemetrySampler struct {
+	every  int64
+	window int64
+	series *telemetry.Series
+
+	// scratch holds one sample's per-router occupancy totals (input VC
+	// flits plus NI injection backlog), reused across samples.
+	scratch []int64
+
+	// Window-start snapshots of the network's cumulative counters; deltas
+	// against them yield the per-window flit counts.
+	lastInjBits   int64
+	lastEject     int64
+	lastBarrierNS int64
+}
+
+// AttachTelemetry builds a windowed time-series for this network, chains
+// its latency observer into the OnDeliver path (preserving any previously
+// installed callback, exactly like AttachProbe), and starts sampling. The
+// returned Series is live: read it during the run for online detector
+// verdicts, or Snapshot it after RunToCompletion.
+func (n *Network) AttachTelemetry(opts telemetry.Options) *telemetry.Series {
+	opts = opts.WithDefaults()
+	s := telemetry.NewSeries(n.Cfg.Name, n.Cfg.Nodes(), n.Cfg.ClockGHz, opts)
+	t := &telemetrySampler{
+		every:   opts.SampleEvery,
+		window:  opts.WindowCycles,
+		series:  s,
+		scratch: make([]int64, len(n.Routers)),
+	}
+	n.telem = t
+	prev := n.OnDeliver
+	n.OnDeliver = func(pkt *Packet) {
+		s.ObserveLatency(pkt.DeliveredAt - pkt.CreatedAt)
+		if prev != nil {
+			prev(pkt)
+		}
+	}
+	return t.series
+}
+
+// tick runs on sampling cycles (now%every == 0) from Step/stepSharded,
+// after all phase effects — including the sharded path's barrier-ordered
+// OnDeliver replay and stats merge — have been applied, so serial and
+// sharded runs observe identical window contents. Must not allocate.
+func (t *telemetrySampler) tick(n *Network, now int64) {
+	// Occupancy sample: router input buffers plus NI injection backlog,
+	// the same accounting as Probe.sample (see its comment for why the NI
+	// term matters).
+	for i, r := range n.Routers {
+		t.scratch[i] = int64(r.inFlits)
+	}
+	for _, ni := range n.nis {
+		ni.backlog(t.scratch)
+	}
+	var total, max int64
+	for _, occ := range t.scratch {
+		total += occ
+		if occ > max {
+			max = occ
+		}
+	}
+	t.series.Occupancy(total, max)
+
+	if now%t.window != 0 || now == 0 {
+		return
+	}
+	injBits := int64(0)
+	for _, b := range n.Stats.Bits {
+		injBits += b
+	}
+	flitBits := int64(n.Cfg.FlitBytes) * 8
+	inj := (injBits - t.lastInjBits) / flitBits
+	ej := n.Stats.EjectFlits - t.lastEject
+	var barNS int64
+	for ph := 0; ph < NumPhases; ph++ {
+		barNS += n.barrierWaitNS[ph]
+	}
+	t.series.Flush(now, inj, ej, barNS-t.lastBarrierNS)
+	t.lastInjBits = injBits
+	t.lastEject = n.Stats.EjectFlits
+	t.lastBarrierNS = barNS
+}

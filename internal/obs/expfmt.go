@@ -15,13 +15,19 @@ import (
 //     (histograms via the _bucket/_sum/_count suffixes) and carries a
 //     parseable value;
 //   - histogram children end with an `le="+Inf"` bucket whose cumulative
-//     count equals their `_count`, and bucket counts never decrease.
+//     count equals their `_count`, and bucket counts never decrease;
+//   - no family (HELP/TYPE block) appears twice;
+//   - an OpenMetrics `# EOF` terminator (Registry.SetOpenMetricsEOF) is
+//     accepted, but only once and only as the final line.
 //
 // Tests use it to reject malformed /v1/metrics output.
 func ValidateExposition(data string) error {
 	lines := strings.Split(data, "\n")
 	if len(lines) > 0 && lines[len(lines)-1] == "" {
 		lines = lines[:len(lines)-1] // trailing newline
+	}
+	if len(lines) > 0 && lines[len(lines)-1] == "# EOF" {
+		lines = lines[:len(lines)-1] // OpenMetrics terminator
 	}
 
 	var (

@@ -92,9 +92,12 @@ func TestValidateExpositionRejects(t *testing.T) {
 		"missing inf bucket":   "# HELP x h\n# TYPE x histogram\nx_bucket{le=\"1\"} 1\nx_sum 1\nx_count 1\n",
 		"inf/count mismatch":   "# HELP x h\n# TYPE x histogram\nx_bucket{le=\"+Inf\"} 2\nx_sum 1\nx_count 3\n",
 		"duplicate family":     "# HELP x h\n# TYPE x counter\nx 1\n# HELP x h\n# TYPE x counter\nx 1\n",
+		"duplicate help/type":  "# HELP x h\n# TYPE x counter\nx 1\n# HELP x other\n# TYPE x gauge\nx 2\n",
 		"dangling help":        "# HELP x h\n",
 		"help without type":    "# HELP x h\n# HELP y h\n# TYPE y counter\ny 1\n",
-		"stray comment":        "# EOF\n",
+		"stray comment":        "# comment\nx 1\n",
+		"eof mid-document":     "# HELP x h\n# TYPE x counter\n# EOF\nx 1\n",
+		"doubled eof":          "# HELP x h\n# TYPE x counter\nx 1\n# EOF\n# EOF\n",
 	}
 	for name, doc := range cases {
 		if err := ValidateExposition(doc); err == nil {
@@ -104,6 +107,46 @@ func TestValidateExpositionRejects(t *testing.T) {
 	good := "# HELP x h\n# TYPE x histogram\nx_bucket{le=\"1\"} 1\nx_bucket{le=\"+Inf\"} 2\nx_sum 3.5\nx_count 2\n"
 	if err := ValidateExposition(good); err != nil {
 		t.Errorf("ValidateExposition rejected well-formed doc: %v", err)
+	}
+	// The OpenMetrics terminator is accepted as the final line.
+	if err := ValidateExposition(good + "# EOF\n"); err != nil {
+		t.Errorf("ValidateExposition rejected OpenMetrics-terminated doc: %v", err)
+	}
+}
+
+// TestOpenMetricsEOFTerminator: the terminator is opt-in, renders as the
+// last line, and the result still validates.
+func TestOpenMetricsEOFTerminator(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_total", "T.").Inc()
+
+	var plain bytes.Buffer
+	if err := reg.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "# EOF") {
+		t.Error("terminator emitted without opt-in")
+	}
+
+	reg.SetOpenMetricsEOF(true)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(buf.String(), "\n# EOF\n") {
+		t.Errorf("exposition does not end with the terminator:\n%s", buf.String())
+	}
+	if err := ValidateExposition(buf.String()); err != nil {
+		t.Errorf("terminated exposition did not validate: %v", err)
+	}
+
+	reg.SetOpenMetricsEOF(false)
+	var off bytes.Buffer
+	if err := reg.WritePrometheus(&off); err != nil {
+		t.Fatal(err)
+	}
+	if off.String() != plain.String() {
+		t.Error("disabling the terminator did not restore the classic form")
 	}
 }
 

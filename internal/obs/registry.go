@@ -33,6 +33,11 @@ const (
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	// eofTerminator appends the OpenMetrics "# EOF" terminator to
+	// expositions (SetOpenMetricsEOF). Off by default: classic Prometheus
+	// text format has no terminator, and some strict 0.0.4 parsers reject
+	// unknown comment lines.
+	eofTerminator bool
 }
 
 // family is one named metric family with its labelled children.
@@ -172,8 +177,19 @@ func checkBuckets(name string, buckets []float64) {
 	}
 }
 
+// SetOpenMetricsEOF opts the registry into terminating expositions with
+// the OpenMetrics "# EOF" marker, which lets scrapers distinguish a
+// complete document from one truncated mid-transfer. ValidateExposition
+// accepts either form.
+func (r *Registry) SetOpenMetricsEOF(on bool) {
+	r.mu.Lock()
+	r.eofTerminator = on
+	r.mu.Unlock()
+}
+
 // WritePrometheus renders every family in Prometheus text exposition format
-// (families sorted by name; each with its # HELP and # TYPE block).
+// (families sorted by name; each with its # HELP and # TYPE block),
+// followed by the "# EOF" terminator when SetOpenMetricsEOF opted in.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
@@ -185,10 +201,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range names {
 		fams = append(fams, r.families[name])
 	}
+	eof := r.eofTerminator
 	r.mu.Unlock()
 
 	for _, f := range fams {
 		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	if eof {
+		if _, err := io.WriteString(w, "# EOF\n"); err != nil {
 			return err
 		}
 	}

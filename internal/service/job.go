@@ -58,6 +58,13 @@ type job struct {
 	// (GET /v1/jobs/{id}/trace); nil until the job completes.
 	trace []byte
 
+	// telemetry is the assembled per-run telemetry summary array of a
+	// Telemetry-flagged job (GET /v1/jobs/{id}/telemetry), extracted from
+	// the result document's "telemetry" block; nil until the job completes
+	// (or when every unit came from a cache entry computed without
+	// telemetry).
+	telemetry []byte
+
 	// tr collects the job's distributed spans (adopted from the submitting
 	// request's trace) and span is the root "job" span unit and phase spans
 	// hang from; spans is the rendered trace-event artifact served at

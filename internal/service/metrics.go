@@ -3,6 +3,7 @@ package service
 import (
 	"equinox/internal/noc"
 	"equinox/internal/obs"
+	"equinox/internal/telemetry"
 )
 
 // metrics are the server's instruments, registered on one obs.Registry and
@@ -42,6 +43,12 @@ type metrics struct {
 	// simShards reports the shard parallelism of the most recently started
 	// job (0 = serial stepping).
 	simShards *obs.Gauge
+	// simSaturated and simWarmup report the saturation flag (0/1) and
+	// detected warmup length of the most recently completed telemetry-
+	// instrumented run — sweep-sweep dashboards watch the saturated gauge
+	// flip as an injection-rate sweep crosses the knee.
+	simSaturated *obs.Gauge
+	simWarmup    *obs.Gauge
 	// barrierWait records the parallel stepper's sampled per-phase barrier
 	// waits in seconds, labelled by noc phase ("link", "vc", "sa"). Shard
 	// imbalance shows up here before it shows up as lost throughput.
@@ -96,6 +103,10 @@ func newMetrics(workers, queueDepth, cacheEntries, cacheBytes func() float64) *m
 	}
 	m.simShards = reg.Gauge("equinox_sim_shards",
 		"Shard parallelism of the most recently started job (0 = serial).")
+	m.simSaturated = reg.Gauge("equinox_sim_saturated",
+		"Whether the most recently completed telemetry-instrumented run saturated (1) or not (0).")
+	m.simWarmup = reg.Gauge("equinox_sim_warmup_cycles",
+		"Detected warmup length (cycles to steady state) of the most recently completed telemetry-instrumented run; 0 when no steady state was reached.")
 	bw := reg.HistogramVec("equinox_sim_barrier_wait_seconds",
 		"Sampled per-phase barrier waits of the parallel stepper.",
 		barrierWaitBuckets(), "phase")
@@ -115,6 +126,17 @@ func newMetrics(workers, queueDepth, cacheEntries, cacheBytes func() float64) *m
 // when shards are balanced up to milliseconds when one shard hogs a phase.
 func barrierWaitBuckets() []float64 {
 	return []float64{1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 1e-3, 1e-2}
+}
+
+// observeTelemetry exports one run's detector verdicts to the
+// equinox_sim_saturated / equinox_sim_warmup_cycles gauges.
+func (m *metrics) observeTelemetry(sum telemetry.RunSummary) {
+	if sum.Saturated {
+		m.simSaturated.Set(1)
+	} else {
+		m.simSaturated.Set(0)
+	}
+	m.simWarmup.Set(float64(sum.WarmupCycles))
 }
 
 // observeBarrierWaits installs this metrics set as the process-wide barrier

@@ -21,6 +21,7 @@ import (
 	"equinox/internal/fleet/store"
 	"equinox/internal/obs"
 	"equinox/internal/obs/trace"
+	"equinox/internal/telemetry"
 )
 
 // Config sizes the server.
@@ -80,6 +81,10 @@ type Config struct {
 	// TraceSample keeps 1 in N traces of jobs faster than TraceTail
 	// (0 with a non-zero TraceTail drops all fast traces).
 	TraceSample int
+	// OpenMetrics terminates /v1/metrics expositions with the OpenMetrics
+	// "# EOF" marker, letting scrapers distinguish a complete scrape from
+	// a truncated one. Off by default: classic Prometheus text format.
+	OpenMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +160,7 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.store.Len()) },
 		func() float64 { return float64(s.store.SizeBytes()) },
 	)
+	s.met.reg.SetOpenMetricsEOF(cfg.OpenMetrics)
 	s.met.observeBarrierWaits()
 	s.met.reg.CounterFunc("equinox_trace_spans_total",
 		"Trace spans started on this node (including ones later dropped at a per-trace cap).",
@@ -266,6 +272,24 @@ func (s *Server) run(j *job) {
 		j.doneRuns.Store(int64(done))
 		j.events.publish(fleet.Event{Type: "progress", Done: done, Total: total})
 	}
+	if j.spec.Telemetry {
+		// Each run's windowed summary streams out as a live "telemetry"
+		// SSE frame as soon as the harness collects it, and feeds the
+		// saturation/warmup gauges.
+		cfg.TelemetryFrame = func(sum telemetry.RunSummary) {
+			s.met.observeTelemetry(sum)
+			raw, err := json.Marshal([]telemetry.RunSummary{sum})
+			if err != nil {
+				return
+			}
+			j.events.publish(fleet.Event{
+				Type:   "telemetry",
+				Scheme: sum.Scheme, Benchmark: sum.Benchmark,
+				Done: int(j.doneRuns.Load()), Total: total,
+				Telemetry: raw,
+			})
+		}
+	}
 	s.met.workersBusy.Add(1)
 	ev, err := equinox.RunEvaluationContext(ctx, cfg)
 	s.met.workersBusy.Add(-1)
@@ -360,6 +384,10 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 	default:
 		var buf bytes.Buffer
 		werr := ev.WriteJSON(&buf)
+		var telBuf []byte
+		if werr == nil && j.spec.Telemetry {
+			telBuf = telemetryArtifact(buf.Bytes())
+		}
 		// Render the flight-recorder artifact outside the lock; surface the
 		// watchdog counters and a job-scoped summary line either way.
 		var traceBuf []byte
@@ -398,6 +426,7 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 			j.state = JobDone
 			j.finished = now
 			j.trace = traceBuf
+			j.telemetry = telBuf
 			for _, k := range s.store.Put(j.id, buf.Bytes()) {
 				delete(s.jobs, k)
 			}
@@ -420,6 +449,7 @@ func (s *Server) finish(j *job, ev *equinox.Evaluation, err error) {
 //	GET    /v1/jobs/{id}/events  server-sent progress events until the job ends
 //	GET    /v1/jobs/{id}/trace   Perfetto trace artifact of a Trace-flagged job
 //	GET    /v1/jobs/{id}/spans   assembled distributed span trace (Perfetto JSON)
+//	GET    /v1/jobs/{id}/telemetry  assembled per-run telemetry time-series of a Telemetry-flagged job
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET    /v1/metrics           text-format counters and gauges
 //	GET    /v1/healthz           liveness probe
@@ -431,6 +461,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
+	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", s.handleTelemetry)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -455,6 +486,8 @@ func routeOf(r *http.Request) string {
 		return "/v1/jobs/{id}/events"
 	case strings.HasPrefix(p, "/v1/jobs/") && strings.HasSuffix(p, "/spans"):
 		return "/v1/jobs/{id}/spans"
+	case strings.HasPrefix(p, "/v1/jobs/") && strings.HasSuffix(p, "/telemetry"):
+		return "/v1/jobs/{id}/telemetry"
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		return "/v1/jobs/{id}"
 	case p == "/v1/fleet/lease", p == "/v1/fleet/complete", p == "/v1/fleet/heartbeat":
@@ -731,6 +764,64 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	w.Write(spans)
 }
 
+// handleTelemetry serves the assembled per-run telemetry time-series of a
+// Telemetry-flagged job: the JSON array of telemetry.RunSummary values the
+// sweep collected, one per (scheme, benchmark), sorted like the result's
+// runs.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		// Telemetry rides the result document, so a previous process's
+		// persisted result can still answer.
+		if res, hit := s.store.Get(id); hit {
+			if art := telemetryArtifact(res); art != nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.Write(art)
+				return
+			}
+		}
+		httpError(w, http.StatusNotFound, "no such job (completed results expire from the cache)")
+		return
+	}
+	if !j.spec.Telemetry {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "job was not submitted with telemetry: true")
+		return
+	}
+	if !j.state.Finished() {
+		st := j.state
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s; the telemetry artifact appears when it completes", st))
+		return
+	}
+	artifact := j.telemetry
+	s.mu.Unlock()
+	if artifact == nil {
+		httpError(w, http.StatusNotFound, "no telemetry artifact (the cached result was computed without telemetry, or the job failed before capture)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(artifact)
+}
+
+// telemetryArtifact extracts the raw "telemetry" block from an evaluation
+// document, or nil when the document carries none.
+func telemetryArtifact(result []byte) []byte {
+	var doc struct {
+		Telemetry json.RawMessage `json:"telemetry"`
+	}
+	if err := json.Unmarshal(result, &doc); err != nil {
+		return nil
+	}
+	if len(doc.Telemetry) == 0 || bytes.Equal(doc.Telemetry, []byte("null")) {
+		return nil
+	}
+	return doc.Telemetry
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -780,13 +871,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.reg.WritePrometheus(w)
 }
 
-// keyOf hashes an already-canonical spec (see JobSpec.Key). Priority and
-// Parallel are zeroed first: they are scheduling/execution advice, and the
-// same sweep at any priority or stepper parallelism shares one result (the
-// parallel stepper is bit-identical to the serial one by construction).
+// keyOf hashes an already-canonical spec (see JobSpec.Key). Priority,
+// Parallel, and Telemetry are zeroed first: they are scheduling/execution
+// advice, and the same sweep at any priority, stepper parallelism, or
+// instrumentation setting shares one result (the parallel stepper is
+// bit-identical to the serial one by construction, and telemetry is purely
+// observational).
 func keyOf(canon JobSpec) (string, error) {
 	canon.Priority = ""
 	canon.Parallel = 0
+	canon.Telemetry = false
 	raw, err := json.Marshal(canon)
 	if err != nil {
 		return "", err

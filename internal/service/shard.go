@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"equinox/internal/fleet"
+	"equinox/internal/telemetry"
 )
 
 // unitsFor derives a sharded job's work units: one canonical 1×1
@@ -47,6 +48,19 @@ func unitsFor(jobID string, canon JobSpec) ([]fleet.Unit, error) {
 func (s *Server) submitSharded(j *job, units []fleet.Unit) error {
 	cb := fleet.JobCallbacks{
 		OnEvent: func(ev fleet.Event) {
+			if ev.Type == "telemetry" {
+				// A unit's windowed summary: feed the saturation/warmup
+				// gauges and relay the frame to SSE subscribers. Not a
+				// lifecycle event — no progress or journal update.
+				var sums []telemetry.RunSummary
+				if err := json.Unmarshal(ev.Telemetry, &sums); err == nil {
+					for _, sum := range sums {
+						s.met.observeTelemetry(sum)
+					}
+				}
+				j.events.publish(ev)
+				return
+			}
 			j.doneRuns.Store(int64(ev.Done))
 			if s.cfg.Journal != nil && (ev.Type == "unit" || ev.Type == "cache") {
 				s.cfg.Journal.Unit(j.id, ev.UnitKey, ev.Status)
@@ -88,6 +102,11 @@ func (s *Server) finishSharded(j *job, result []byte, err error) {
 	}
 	j.state = JobDone
 	j.finished = now
+	if j.spec.Telemetry {
+		// The assembled document carries every unit's telemetry block
+		// (units from telemetry-less cache entries contribute none).
+		j.telemetry = telemetryArtifact(result)
+	}
 	for _, k := range s.store.Put(j.id, result) {
 		delete(s.jobs, k)
 	}

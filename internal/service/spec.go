@@ -40,6 +40,17 @@ type JobSpec struct {
 	// content key than untraced ones — their artifacts differ.
 	Trace bool `json:"trace,omitempty"`
 
+	// Telemetry attaches the windowed telemetry time-series to every run of
+	// the sweep (internal/telemetry): per-window throughput, latency
+	// quantiles, occupancy, and the online steady-state/saturation
+	// detectors. Summaries ride the result document's "telemetry" block,
+	// stream live as "telemetry" SSE frames, and are served assembled at
+	// GET /v1/jobs/{id}/telemetry. Purely observational — like Priority it
+	// is excluded from the content key, so instrumented and plain runs of
+	// the same sweep share one cached result (which may therefore lack, or
+	// carry, telemetry regardless of this flag).
+	Telemetry bool `json:"telemetry,omitempty"`
+
 	// Parallel enables the deterministic parallel stepper inside each
 	// simulation when > 1 (equinox.EvalConfig.Parallel): networks step
 	// concurrently and core-domain meshes shard row-wise, with results
@@ -192,5 +203,6 @@ func (s JobSpec) evalConfig() (equinox.EvalConfig, error) {
 	if s.Trace {
 		cfg.Flight = &equinox.FlightConfig{}
 	}
+	cfg.Telemetry = s.Telemetry
 	return cfg, nil
 }
